@@ -1,0 +1,313 @@
+//! Session reconstruction from the raw log — the paper's own methodology
+//! (§V.A, §V.C): pair join/leave activity reports into sessions, attach
+//! the periodic status reports, infer user types from partner reports
+//! (§V.B), and group retries by user (Fig. 10b).
+//!
+//! Everything here consumes *parsed log strings only*. Information the log
+//! does not carry (e.g. the playback quality between a peer's last status
+//! report and its departure) is genuinely absent, reproducing the paper's
+//! measurement artifacts.
+
+use std::collections::BTreeMap;
+
+use cs_logging::{ActivityKind, Report, UserId};
+use cs_net::NodeClass;
+use cs_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One session (node incarnation) as visible in the log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LogSession {
+    /// Stable user identity.
+    pub user: UserId,
+    /// Node id of this incarnation.
+    pub node: u32,
+    /// Whether the client reported a private local address.
+    pub private_addr: Option<bool>,
+    /// Join report time.
+    pub join: Option<SimTime>,
+    /// Start-subscription report time.
+    pub start_sub: Option<SimTime>,
+    /// Media-ready report time.
+    pub ready: Option<SimTime>,
+    /// Leave report time.
+    pub leave: Option<SimTime>,
+    /// QoS reports: `(time, due, missed)`.
+    pub qos: Vec<(SimTime, u64, u64)>,
+    /// Total uploaded bytes across traffic reports.
+    pub up_bytes: u64,
+    /// Total downloaded bytes across traffic reports.
+    pub down_bytes: u64,
+    /// Max incoming-partner count seen in partner reports.
+    pub max_incoming: u32,
+    /// Max outgoing-partner count seen in partner reports.
+    pub max_outgoing: u32,
+    /// Total adaptations across partner reports.
+    pub adaptations: u64,
+}
+
+impl LogSession {
+    /// Session duration, if both endpoints were logged.
+    pub fn duration(&self) -> Option<SimTime> {
+        Some(self.leave?.saturating_sub(self.join?))
+    }
+
+    /// Start-subscription delay.
+    pub fn start_sub_delay(&self) -> Option<SimTime> {
+        Some(self.start_sub?.saturating_sub(self.join?))
+    }
+
+    /// Media-ready delay.
+    pub fn ready_delay(&self) -> Option<SimTime> {
+        Some(self.ready?.saturating_sub(self.join?))
+    }
+
+    /// Buffer-fill wait: media-ready − start-subscription (the 10–20 s
+    /// difference curve of Fig. 6).
+    pub fn buffer_fill_delay(&self) -> Option<SimTime> {
+        Some(self.ready?.saturating_sub(self.start_sub?))
+    }
+
+    /// Log-visible continuity index: aggregate over QoS reports.
+    pub fn continuity(&self) -> Option<f64> {
+        let due: u64 = self.qos.iter().map(|(_, d, _)| d).sum();
+        let missed: u64 = self.qos.iter().map(|(_, _, m)| m).sum();
+        (due > 0).then(|| 1.0 - missed as f64 / due as f64)
+    }
+
+    /// A *normal session* in the paper's sense: the full
+    /// join → start-subscription → media-ready → leave sequence.
+    pub fn is_normal(&self) -> bool {
+        self.join.is_some() && self.start_sub.is_some() && self.ready.is_some() && self.leave.is_some()
+    }
+
+    /// §V.B user-type inference from local address + partner directions.
+    /// Exactly the paper's rules — including their failure modes (e.g. a
+    /// permissive NAT user with an incoming partner classifies as UPnP).
+    pub fn infer_class(&self) -> Option<NodeClass> {
+        let private = self.private_addr?;
+        let has_incoming = self.max_incoming > 0;
+        Some(match (private, has_incoming) {
+            (true, true) => NodeClass::Upnp,
+            (true, false) => NodeClass::Nat,
+            (false, true) => NodeClass::DirectConnect,
+            (false, false) => NodeClass::Firewall,
+        })
+    }
+}
+
+/// Rebuild per-node sessions from parsed reports (any order), returned
+/// sorted by join time (unjoined fragments last).
+pub fn reconstruct(reports: &[(SimTime, Report)]) -> Vec<LogSession> {
+    let mut by_node: BTreeMap<u32, LogSession> = BTreeMap::new();
+    for (t, r) in reports {
+        let s = by_node.entry(r.node()).or_insert_with(|| LogSession {
+            user: r.user(),
+            node: r.node(),
+            ..Default::default()
+        });
+        match r {
+            Report::Activity {
+                kind, private_addr, ..
+            } => {
+                s.private_addr = Some(*private_addr);
+                match kind {
+                    ActivityKind::Join => s.join = Some(*t),
+                    ActivityKind::StartSubscription => s.start_sub = Some(*t),
+                    ActivityKind::MediaReady => s.ready = Some(*t),
+                    ActivityKind::Leave => s.leave = Some(*t),
+                }
+            }
+            Report::Qos { due, missed, .. } => s.qos.push((*t, *due, *missed)),
+            Report::Traffic { up, down, .. } => {
+                s.up_bytes += up;
+                s.down_bytes += down;
+            }
+            Report::Partner {
+                private_addr,
+                incoming,
+                outgoing,
+                adaptations,
+                ..
+            } => {
+                s.private_addr = Some(*private_addr);
+                s.max_incoming = s.max_incoming.max(*incoming);
+                s.max_outgoing = s.max_outgoing.max(*outgoing);
+                s.adaptations += *adaptations as u64;
+            }
+        }
+    }
+    let mut sessions: Vec<LogSession> = by_node.into_values().collect();
+    sessions.sort_by_key(|s| (s.join.unwrap_or(SimTime::MAX), s.node));
+    sessions
+}
+
+/// Per-user retry grouping (Fig. 10b): how many attempts each user logged
+/// before (and including) its first media-ready session; `succeeded`
+/// records whether that ever happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserAttempts {
+    /// The user.
+    pub user: UserId,
+    /// Attempts up to and including the first successful one (or all
+    /// attempts when none succeeded).
+    pub attempts: u32,
+    /// Whether any attempt reached media-ready.
+    pub succeeded: bool,
+}
+
+/// Group sessions by user and count join attempts until first success.
+pub fn retries_per_user(sessions: &[LogSession]) -> Vec<UserAttempts> {
+    let mut by_user: BTreeMap<UserId, Vec<&LogSession>> = BTreeMap::new();
+    for s in sessions {
+        if s.join.is_some() {
+            by_user.entry(s.user).or_default().push(s);
+        }
+    }
+    by_user
+        .into_iter()
+        .map(|(user, mut ss)| {
+            ss.sort_by_key(|s| s.join);
+            let mut attempts = 0;
+            let mut succeeded = false;
+            for s in ss {
+                attempts += 1;
+                if s.ready.is_some() {
+                    succeeded = true;
+                    break;
+                }
+            }
+            UserAttempts {
+                user,
+                attempts,
+                succeeded,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(t: u64, user: u32, node: u32, kind: ActivityKind, private: bool) -> (SimTime, Report) {
+        (
+            SimTime::from_secs(t),
+            Report::Activity {
+                user: UserId(user),
+                node,
+                kind,
+                private_addr: private,
+            },
+        )
+    }
+
+    #[test]
+    fn reconstruct_full_session() {
+        let reports = vec![
+            act(10, 1, 7, ActivityKind::Join, true),
+            act(13, 1, 7, ActivityKind::StartSubscription, true),
+            act(25, 1, 7, ActivityKind::MediaReady, true),
+            (
+                SimTime::from_secs(300),
+                Report::Qos {
+                    user: UserId(1),
+                    node: 7,
+                    due: 1000,
+                    missed: 10,
+                },
+            ),
+            (
+                SimTime::from_secs(300),
+                Report::Traffic {
+                    user: UserId(1),
+                    node: 7,
+                    up: 500,
+                    down: 900,
+                },
+            ),
+            (
+                SimTime::from_secs(300),
+                Report::Partner {
+                    user: UserId(1),
+                    node: 7,
+                    private_addr: true,
+                    incoming: 2,
+                    outgoing: 3,
+                    parents: 4,
+                    adaptations: 1,
+                },
+            ),
+            act(600, 1, 7, ActivityKind::Leave, true),
+        ];
+        let sessions = reconstruct(&reports);
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert!(s.is_normal());
+        assert_eq!(s.duration(), Some(SimTime::from_secs(590)));
+        assert_eq!(s.start_sub_delay(), Some(SimTime::from_secs(3)));
+        assert_eq!(s.ready_delay(), Some(SimTime::from_secs(15)));
+        assert_eq!(s.buffer_fill_delay(), Some(SimTime::from_secs(12)));
+        assert!((s.continuity().unwrap() - 0.99).abs() < 1e-12);
+        assert_eq!(s.up_bytes, 500);
+        assert_eq!(s.infer_class(), Some(NodeClass::Upnp));
+    }
+
+    #[test]
+    fn classification_rules_match_paper() {
+        let mk = |private, incoming| LogSession {
+            private_addr: Some(private),
+            max_incoming: incoming,
+            ..Default::default()
+        };
+        assert_eq!(mk(true, 1).infer_class(), Some(NodeClass::Upnp));
+        assert_eq!(mk(true, 0).infer_class(), Some(NodeClass::Nat));
+        assert_eq!(mk(false, 2).infer_class(), Some(NodeClass::DirectConnect));
+        assert_eq!(mk(false, 0).infer_class(), Some(NodeClass::Firewall));
+        assert_eq!(LogSession::default().infer_class(), None);
+    }
+
+    #[test]
+    fn sessions_sorted_by_join() {
+        let reports = vec![
+            act(50, 2, 9, ActivityKind::Join, false),
+            act(10, 1, 8, ActivityKind::Join, false),
+        ];
+        let sessions = reconstruct(&reports);
+        assert_eq!(sessions[0].node, 8);
+        assert_eq!(sessions[1].node, 9);
+    }
+
+    #[test]
+    fn retry_grouping_counts_until_success() {
+        let reports = vec![
+            // User 1: two failed attempts, then success, then another
+            // session that must NOT count.
+            act(10, 1, 100, ActivityKind::Join, true),
+            act(20, 1, 100, ActivityKind::Leave, true),
+            act(25, 1, 101, ActivityKind::Join, true),
+            act(40, 1, 101, ActivityKind::Leave, true),
+            act(45, 1, 102, ActivityKind::Join, true),
+            act(60, 1, 102, ActivityKind::MediaReady, true),
+            act(500, 1, 103, ActivityKind::Join, true),
+            // User 2: never succeeds.
+            act(10, 2, 200, ActivityKind::Join, true),
+            act(30, 2, 201, ActivityKind::Join, true),
+        ];
+        let sessions = reconstruct(&reports);
+        let retries = retries_per_user(&sessions);
+        assert_eq!(retries.len(), 2);
+        let u1 = retries.iter().find(|r| r.user == UserId(1)).unwrap();
+        assert_eq!(u1.attempts, 3);
+        assert!(u1.succeeded);
+        let u2 = retries.iter().find(|r| r.user == UserId(2)).unwrap();
+        assert_eq!(u2.attempts, 2);
+        assert!(!u2.succeeded);
+    }
+
+    #[test]
+    fn continuity_none_without_qos() {
+        let s = LogSession::default();
+        assert_eq!(s.continuity(), None);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cs-baseline — tree-based overlay multicast comparators
+//!
+//! §II of the paper contrasts data-driven (mesh-pull) systems against
+//! *tree-based overlay multicast*: single-tree end-system multicast
+//! \[11\]\[12\] and multi-tree striping à la SplitStream \[13\]. This crate
+//! implements both on the same `cs-net` substrate and the same workload
+//! specs as the mesh, so the `abl_mesh_vs_tree` bench can compare
+//! continuity under identical churn.
+//!
+//! The headline expectation (and the reason Coolstreaming is mesh-based):
+//! under churn, a single tree's interior departures silence whole
+//! subtrees; striping bounds the damage to `1/K`; the mesh's per-block
+//! multi-parent pull avoids most of it.
+
+#![warn(missing_docs)]
+
+mod tree;
+
+pub use tree::{TreeEvent, TreeParams, TreeSession, TreeStats, TreeWorld};

@@ -1,0 +1,83 @@
+//! ABL-MCACHE — the §V.C proposal: bias mCache replacement towards
+//! stable peers so flash-crowd joiners stop filling their caches with
+//! useless newly-joined peers.
+
+use coolstreaming::experiments::{fig10_sessions, fig6_startup, LogView};
+use coolstreaming::Scenario;
+use criterion::{black_box, Criterion};
+use cs_bench::{banner, criterion_quick, shape_check};
+use cs_proto::ReplacePolicy;
+use cs_sim::SimTime;
+use cs_workload::{Spike, Workload};
+
+fn crowd_run(policy: ReplacePolicy, seed: u64) -> (f64, f64, f64) {
+    let mut wl = Workload::steady(0.4);
+    wl.profile.spikes.push(Spike {
+        start: SimTime::from_mins(10),
+        duration: SimTime::from_mins(4),
+        multiplier: 10.0,
+    });
+    let mut scenario = Scenario::steady(0.4)
+        .with_workload(wl)
+        .with_seed(seed)
+        .with_window(SimTime::ZERO, SimTime::from_mins(25));
+    scenario.params.replace_policy = policy;
+    let artifacts = scenario.run();
+    let view = LogView::build(&artifacts);
+    let during = fig6_startup(&view, SimTime::from_mins(10), SimTime::from_mins(14));
+    let retried = fig10_sessions(&view).retried_fraction;
+    (
+        during.ready.median().unwrap_or(f64::NAN),
+        during.ready.quantile(0.9).unwrap_or(f64::NAN),
+        retried,
+    )
+}
+
+fn main() {
+    banner(
+        "ABL-MCACHE",
+        "stability-biased mCache replacement should not hurt, and helps flash-crowd joins (§V.C)",
+    );
+    // Average over seeds — single flash-crowd runs are noisy.
+    let seeds = [1u64, 2, 3];
+    let mut rnd = (0.0, 0.0, 0.0);
+    let mut sta = (0.0, 0.0, 0.0);
+    for &s in &seeds {
+        let a = crowd_run(ReplacePolicy::Random, s);
+        let b = crowd_run(ReplacePolicy::StabilityBiased, s);
+        rnd = (rnd.0 + a.0, rnd.1 + a.1, rnd.2 + a.2);
+        sta = (sta.0 + b.0, sta.1 + b.1, sta.2 + b.2);
+    }
+    let n = seeds.len() as f64;
+    let (rnd_med, rnd_p90, rnd_retry) = (rnd.0 / n, rnd.1 / n, rnd.2 / n);
+    let (sta_med, sta_p90, sta_retry) = (sta.0 / n, sta.1 / n, sta.2 / n);
+
+    println!("  policy             ready-median   ready-p90   retried");
+    println!(
+        "  random             {rnd_med:>10.1}s   {rnd_p90:>8.1}s   {:>6.1}%",
+        100.0 * rnd_retry
+    );
+    println!(
+        "  stability-biased   {sta_med:>10.1}s   {sta_p90:>8.1}s   {:>6.1}%",
+        100.0 * sta_retry
+    );
+
+    shape_check!(
+        sta_med <= rnd_med * 1.15,
+        "biased replacement does not worsen the crowd-time median ({sta_med:.1}s vs {rnd_med:.1}s)"
+    );
+    shape_check!(
+        sta_p90 <= rnd_p90 * 1.15,
+        "biased replacement does not worsen the crowd-time tail ({sta_p90:.1}s vs {rnd_p90:.1}s)"
+    );
+    shape_check!(
+        rnd_med.is_finite() && sta_med.is_finite(),
+        "both policies keep serving joins during the crowd"
+    );
+
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("abl_mcache/random_crowd_run", |b| {
+        b.iter(|| black_box(crowd_run(ReplacePolicy::Random, 9)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,95 @@
+//! ABL-TREE — mesh-pull vs tree-based overlay multicast under identical
+//! churn (the §II design-space argument for data-driven systems).
+
+use coolstreaming::experiments::{fig9_point, LogView};
+use coolstreaming::Scenario;
+use criterion::{black_box, Criterion};
+use cs_baseline::{TreeEvent, TreeParams, TreeWorld};
+use cs_bench::{banner, criterion_quick, shape_check};
+use cs_net::{ConnectivityPolicy, LatencyModel, Network};
+use cs_sim::{Engine, SimTime};
+use cs_workload::Workload;
+
+fn run_tree(params: TreeParams, arrivals: &[(SimTime, cs_proto::UserSpec)], horizon: SimTime, seed: u64) -> (f64, f64) {
+    let net = Network::new(ConnectivityPolicy::default(), LatencyModel::default(), seed);
+    let world = TreeWorld::new(params, net, seed);
+    let mut eng = Engine::new(world);
+    for (t, e) in eng.world().initial_events() {
+        eng.schedule_at(t, e);
+    }
+    for (t, spec) in arrivals {
+        eng.schedule_at(*t, TreeEvent::Arrive(*spec));
+    }
+    eng.run_until(horizon);
+    eng.world_mut().finalize();
+    let w = eng.world();
+    (
+        w.mean_continuity(30).unwrap_or(0.0),
+        w.mean_playable(30).unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    banner(
+        "ABL-TREE",
+        "under churn: mesh ≥ multi-tree ≥ single tree (why Coolstreaming is mesh-pull)",
+    );
+    let horizon = SimTime::from_mins(30);
+    let rate = 0.6;
+    let seed = 2121;
+    let workload = Workload::steady(rate);
+    let arrivals = workload.generate(seed, SimTime::ZERO, horizon);
+
+    let artifacts = Scenario::steady(rate)
+        .with_seed(seed)
+        .with_window(SimTime::ZERO, horizon)
+        .run();
+    let view = LogView::build(&artifacts);
+    let mesh_ci = fig9_point(&view, SimTime::from_mins(5), horizon).mean_continuity;
+
+    let (single_ci, single_play) = run_tree(TreeParams::single_tree(), &arrivals, horizon, seed);
+    let (multi_ci, multi_play) = run_tree(TreeParams::multi_tree(6), &arrivals, horizon, seed);
+
+    println!("  system        continuity   playable");
+    println!("  mesh (CS)     {:>9.2}%        —", 100.0 * mesh_ci);
+    println!(
+        "  multi tree    {:>9.2}%   {:>7.2}%",
+        100.0 * multi_ci,
+        100.0 * multi_play
+    );
+    println!(
+        "  single tree   {:>9.2}%   {:>7.2}%",
+        100.0 * single_ci,
+        100.0 * single_play
+    );
+
+    shape_check!(
+        mesh_ci > single_ci,
+        "mesh ({:.1}%) beats single tree ({:.1}%) under churn",
+        100.0 * mesh_ci,
+        100.0 * single_ci
+    );
+    shape_check!(
+        multi_play >= single_play,
+        "multi-tree playability ({:.1}%) ≥ single tree ({:.1}%)",
+        100.0 * multi_play,
+        100.0 * single_play
+    );
+    shape_check!(
+        mesh_ci >= multi_ci - 0.02,
+        "mesh ({:.1}%) at least matches multi-tree ({:.1}%)",
+        100.0 * mesh_ci,
+        100.0 * multi_ci
+    );
+
+    let mut c: Criterion = criterion_quick();
+    let short: Vec<_> = arrivals
+        .iter()
+        .filter(|(t, _)| *t < SimTime::from_mins(5))
+        .cloned()
+        .collect();
+    c.bench_function("abl_tree/single_tree_5min", |b| {
+        b.iter(|| black_box(run_tree(TreeParams::single_tree(), &short, SimTime::from_mins(5), 3)))
+    });
+    c.final_summary();
+}

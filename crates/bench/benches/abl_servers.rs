@@ -1,0 +1,75 @@
+//! ABL-SERVERS — the dedicated-server fleet (§V.A deployed 24 × 100 Mbps
+//! servers): without them the swarm cannot even bootstrap (nobody has
+//! content); more capacity amplifies the swarm.
+
+use coolstreaming::experiments::{fig6_startup, fig9_point, LogView};
+use coolstreaming::{run_all, Scenario};
+use criterion::{black_box, Criterion};
+use cs_bench::{banner, criterion_quick, shape_check};
+use cs_net::Bandwidth;
+use cs_sim::SimTime;
+
+fn main() {
+    banner(
+        "ABL-SERVERS",
+        "0 servers → no service; capacity amplification with the fleet",
+    );
+    let horizon = SimTime::from_mins(25);
+    let counts = [0usize, 1, 2, 4];
+    let scenarios = counts
+        .iter()
+        .map(|&n| {
+            Scenario::steady(0.5)
+                .with_seed(2323)
+                .with_window(SimTime::ZERO, horizon)
+                .with_servers(n, Bandwidth::mbps(24))
+        })
+        .collect();
+    let runs = run_all(scenarios);
+
+    println!("  servers   continuity   ready-frac   ready-median");
+    let mut ready_fracs = Vec::new();
+    for (n, artifacts) in counts.iter().zip(&runs) {
+        let view = LogView::build(artifacts);
+        let p = fig9_point(&view, SimTime::from_mins(5), horizon);
+        let fig6 = fig6_startup(&view, SimTime::ZERO, SimTime::MAX);
+        println!(
+            "  {n:>7}   {:>9.2}%   {:>9.2}%   {:>10.1}s",
+            100.0 * p.mean_continuity,
+            100.0 * p.ready_fraction,
+            fig6.ready.median().unwrap_or(f64::NAN)
+        );
+        ready_fracs.push(p.ready_fraction);
+    }
+
+    shape_check!(
+        ready_fracs[0] < 0.05,
+        "without servers nobody gets content ({:.1}% ready)",
+        100.0 * ready_fracs[0]
+    );
+    shape_check!(
+        ready_fracs[1] > 0.5,
+        "one server bootstraps the swarm ({:.1}% ready)",
+        100.0 * ready_fracs[1]
+    );
+    shape_check!(
+        ready_fracs[3] >= ready_fracs[1] - 0.03,
+        "more servers never hurt ({:.1}% vs {:.1}%)",
+        100.0 * ready_fracs[3],
+        100.0 * ready_fracs[1]
+    );
+
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("abl_servers/2srv_run_5min", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::steady(0.2)
+                    .with_seed(6)
+                    .with_window(SimTime::ZERO, SimTime::from_mins(5))
+                    .with_servers(2, Bandwidth::mbps(24))
+                    .run(),
+            )
+        })
+    });
+    c.final_summary();
+}

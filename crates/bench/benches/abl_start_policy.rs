@@ -1,0 +1,113 @@
+//! ABL-START — the §IV.A start-position argument as an experiment.
+//!
+//! The paper reasons: start at the *latest* block `m` and partners have
+//! no follow-up blocks buffered → continuity gaps; start at the *oldest*
+//! block `n` and the blocks get pushed out of partners' buffers
+//! mid-fetch (plus a long catch-up). The deployed compromise `m − T_p`
+//! should dominate both extremes.
+
+use coolstreaming::experiments::{fig6_startup, fig9_point, LogView};
+use coolstreaming::{run_all, Scenario};
+use criterion::{black_box, Criterion};
+use cs_bench::{banner, criterion_quick, shape_check};
+use cs_proto::StartPolicy;
+use cs_sim::SimTime;
+
+fn main() {
+    banner(
+        "ABL-START",
+        "m − T_p beats starting at the newest or the oldest available block (§IV.A)",
+    );
+    let horizon = SimTime::from_mins(30);
+    let policies = [
+        ("shifted (m−T_p)", StartPolicy::ShiftedFromLatest),
+        ("latest (m)", StartPolicy::Latest),
+        ("midpoint", StartPolicy::Midpoint),
+        ("oldest (n)", StartPolicy::Oldest),
+    ];
+    let scenarios = policies
+        .iter()
+        .map(|&(_, policy)| {
+            let mut s = Scenario::steady(0.5)
+                .with_seed(2424)
+                .with_window(SimTime::ZERO, horizon);
+            s.params.start_policy = policy;
+            s
+        })
+        .collect();
+    let runs = run_all(scenarios);
+
+    println!("  policy            continuity   ready-median   live-lag   skipped-blocks");
+    let mut results = Vec::new();
+    for ((label, _), artifacts) in policies.iter().zip(&runs) {
+        let view = LogView::build(artifacts);
+        let p = fig9_point(&view, SimTime::from_mins(5), horizon);
+        let fig6 = fig6_startup(&view, SimTime::ZERO, SimTime::MAX);
+        let skipped = artifacts.world.stats.blocks_skipped;
+        // Playback latency behind the live stream: how far the playhead
+        // of live, playing peers trails the newest emitted block.
+        let world = &artifacts.world;
+        let bps = world.params.blocks_per_sec();
+        let edge = world.params.live_edge(horizon).unwrap_or(0);
+        let lags: Vec<f64> = world
+            .net
+            .iter_alive()
+            .filter(|n| n.class.is_user())
+            .filter_map(|n| world.peer(n.id))
+            .filter(|peer| peer.media_ready.is_some())
+            .map(|peer| edge.saturating_sub(peer.next_play) as f64 / bps)
+            .collect();
+        let live_lag = lags.iter().sum::<f64>() / lags.len().max(1) as f64;
+        println!(
+            "  {label:<17} {:>9.2}%   {:>10.1}s   {live_lag:>7.1}s   {skipped:>12}",
+            100.0 * p.mean_continuity,
+            fig6.ready.median().unwrap_or(f64::NAN),
+        );
+        results.push((p.mean_continuity, live_lag, skipped));
+    }
+    let (shifted, latest, _midpoint, oldest) =
+        (&results[0], &results[1], &results[2], &results[3]);
+
+    shape_check!(
+        shifted.0 >= latest.0 - 0.005,
+        "shifted continuity ({:.2}%) ≥ latest-start ({:.2}%)",
+        100.0 * shifted.0,
+        100.0 * latest.0
+    );
+    shape_check!(
+        shifted.0 >= oldest.0 - 0.005,
+        "shifted continuity ({:.2}%) ≥ oldest-start ({:.2}%)",
+        100.0 * shifted.0,
+        100.0 * oldest.0
+    );
+    // The paper's problem (1) with the oldest start: blocks leave the
+    // partners' buffers — visible as skipped blocks.
+    shape_check!(
+        oldest.2 > shifted.2 * 2,
+        "oldest-start loses blocks from cache windows ({} vs {})",
+        oldest.2,
+        shifted.2
+    );
+    // The paper's problem (2): "it might take considerable amount of
+    // time for the newly joined node to catch up with the current video
+    // stream" — the oldest-start viewers watch far behind the live edge.
+    shape_check!(
+        oldest.1 > shifted.1 * 2.0,
+        "oldest-start watches far behind live ({:.1}s vs {:.1}s lag)",
+        oldest.1,
+        shifted.1
+    );
+
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("abl_start/shifted_5min", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::steady(0.2)
+                    .with_seed(1)
+                    .with_window(SimTime::ZERO, SimTime::from_mins(5))
+                    .run(),
+            )
+        })
+    });
+    c.final_summary();
+}

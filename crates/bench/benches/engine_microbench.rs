@@ -1,0 +1,97 @@
+//! Engine micro-benchmarks: the hot primitives under everything else —
+//! event queue, RNG, stream buffer, buffer-map codec, log codec,
+//! Lorenz/Gini, CDF.
+
+use criterion::{black_box, BatchSize, Criterion};
+use cs_analysis::{Cdf, Lorenz};
+use cs_logging::{ActivityKind, Report, UserId};
+use cs_proto::StreamBuffer;
+use cs_sim::rng::Xoshiro256PlusPlus;
+use cs_sim::{EventQueue, SimTime};
+use rand::{Rng, RngCore};
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+
+    c.bench_function("queue/push_pop_10k", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(t), i);
+            }
+            let mut sum = 0usize;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+
+    c.bench_function("rng/next_u64_1k", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("buffer/advance_and_edge", |b| {
+        b.iter_batched(
+            || StreamBuffer::new(6, 0),
+            |mut buf| {
+                for i in 0..6 {
+                    buf.advance(i, 200);
+                }
+                black_box(buf.contiguous_edge())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("buffer/bm_codec_roundtrip", |b| {
+        let mut buf = StreamBuffer::new(6, 100);
+        for i in 0..6 {
+            buf.advance(i, 50);
+        }
+        let bm = buf.buffer_map(&[true; 6]);
+        b.iter(|| {
+            let bytes = bm.encode();
+            black_box(cs_proto::BufferMap::decode(6, &bytes))
+        })
+    });
+
+    c.bench_function("logging/report_roundtrip", |b| {
+        let r = Report::Activity {
+            user: UserId(123_456),
+            node: 789,
+            kind: ActivityKind::MediaReady,
+            private_addr: true,
+        };
+        b.iter(|| {
+            let s = r.encode();
+            black_box(Report::decode(&s).unwrap())
+        })
+    });
+
+    c.bench_function("analysis/gini_100k", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let values: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>().powi(4)).collect();
+        b.iter(|| black_box(Lorenz::new(values.clone()).gini()))
+    });
+
+    c.bench_function("analysis/cdf_quantiles_100k", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        let values: Vec<f64> = (0..100_000).map(|_| rng.gen()).collect();
+        b.iter(|| {
+            let cdf = Cdf::new(values.clone());
+            black_box((cdf.median(), cdf.quantile(0.99)))
+        })
+    });
+
+    c.final_summary();
+}

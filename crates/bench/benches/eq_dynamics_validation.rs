@@ -1,0 +1,185 @@
+//! EQ3-6 — the §IV.C analytical model against the simulator.
+//!
+//! Controlled micro-scenarios (K = 1, a single capacity-limited server,
+//! adaptation and give-up disabled) so that the protocol's fluid push
+//! matches the closed forms:
+//!
+//! * Eq. (3): catch-up time `t↑ = l / (r↑ − R/K)`,
+//! * Eq. (4): starvation rate `R/K − r↓`,
+//! * Eq. (5): dilution `r↓ = D/(D+1) · R/K` when one extra child joins.
+
+use criterion::{black_box, Criterion};
+use cs_bench::{banner, criterion_quick, shape_check};
+use cs_logging::UserId;
+use cs_net::{Bandwidth, ConnectivityPolicy, LatencyModel, Network, NodeClass};
+use cs_proto::{CsWorld, Event, Params, UserSpec};
+use cs_sim::{Engine, SimTime};
+
+/// Params that disable every feedback loop: one sub-stream, no
+/// adaptation, no give-up, no impatience.
+fn micro_params() -> Params {
+    Params {
+        substreams: 1,
+        ts_blocks: u64::MAX / 4,
+        tp_blocks: 96,
+        low_water_blocks: 0,
+        giveup_loss: 1.0, // effectively never trips (giveup_ticks is huge)
+        giveup_ticks: u32::MAX,
+        playback_delay_blocks: 10,
+        ..Params::default()
+    }
+}
+
+/// Build a world with one server of the given uplink and `children`
+/// peers that join at t = 60 s and never leave.
+fn micro_world(server_bw: Bandwidth, children: u32, seed: u64) -> Engine<CsWorld> {
+    let params = micro_params();
+    let net = Network::new(ConnectivityPolicy::strict(), LatencyModel::default(), seed);
+    let world = CsWorld::new(params, net, 1, server_bw, seed);
+    let mut eng = Engine::new(world);
+    for (t, e) in eng.world().initial_events() {
+        eng.schedule_at(t, e);
+    }
+    for u in 0..children {
+        eng.schedule_at(
+            SimTime::from_secs(60),
+            Event::Arrive(UserSpec {
+                user: UserId(u),
+                class: NodeClass::Nat,
+                upload: Bandwidth::kbps(64),
+                leave_at: SimTime::from_hours(2),
+                patience: SimTime::from_hours(1),
+                retries_left: 0,
+                retry_index: 0,
+            }),
+        );
+    }
+    eng
+}
+
+/// Run until the (single) child's sub-stream-0 lag behind the live edge
+/// satisfies `pred(lag_blocks)`; returns seconds since the child's
+/// start-subscription, or None at the deadline.
+fn time_until(
+    eng: &mut Engine<CsWorld>,
+    child_ix: usize,
+    deadline: SimTime,
+    pred: impl Fn(i64) -> bool,
+) -> Option<(f64, SimTime)> {
+    let mut t = eng.now();
+    loop {
+        t += SimTime::from_millis(500);
+        if t > deadline {
+            return None;
+        }
+        eng.run_until(t);
+        let world = eng.world();
+        let id = cs_net::NodeId(child_ix as u32);
+        let Some(peer) = world.peer(id) else { continue };
+        let Some(buf) = peer.buffer.as_ref() else {
+            continue;
+        };
+        let Some(own) = buf.latest(0) else { continue };
+        let edge = world.params.live_edge(t).unwrap_or(0);
+        let lag = edge as i64 - own as i64;
+        if pred(lag) {
+            let start = peer.start_sub.expect("subscribed");
+            return Some((t.saturating_sub(start).as_secs_f64(), t));
+        }
+    }
+}
+
+fn main() {
+    banner(
+        "EQ3-6",
+        "catch-up, starvation and dilution follow the §IV.C closed forms",
+    );
+    let params = micro_params();
+    let rate = params.blocks_per_sec(); // R/K with K = 1: 9.6 blocks/s
+    let block_bits = params.block_bits() as f64;
+
+    // ---- Eq. (3): catch-up at r↑ = 2×, 3× stream rate ------------------
+    println!("  Eq.3 catch-up (l = T_p = {} blocks):", params.tp_blocks);
+    for mult in [2.0f64, 3.0] {
+        let bw = Bandwidth((rate * mult * block_bits) as u64);
+        let mut eng = micro_world(bw, 1, 31);
+        // Server lag means "caught up" ≈ within server_lag of the edge.
+        let slack = (params.server_lag.as_secs_f64() * rate).ceil() as i64 + 2;
+        let measured = time_until(&mut eng, 2, SimTime::from_secs(300), |lag| lag <= slack)
+            .expect("child catches up")
+            .0;
+        let predicted = cs_model::catch_up_time(params.tp_blocks as f64, rate * mult, rate)
+            .expect("r↑ > R/K");
+        println!("    r↑ = {mult:.0}×R/K: measured {measured:.1}s vs Eq.3 {predicted:.1}s");
+        shape_check!(
+            (measured - predicted).abs() <= predicted * 0.5 + 3.0,
+            "catch-up within tolerance of Eq.3 at {mult}×"
+        );
+    }
+
+    // ---- Eq. (4): starvation at r↓ = 0.5× stream rate ------------------
+    let bw = Bandwidth((rate * 0.5 * block_bits) as u64);
+    let mut eng = micro_world(bw, 1, 32);
+    let l = 48i64;
+    // Initial lag after subscription ≈ T_p; wait until it grows by l.
+    let start_lag = params.tp_blocks as i64;
+    let measured = time_until(&mut eng, 2, SimTime::from_secs(400), |lag| {
+        lag >= start_lag + l
+    })
+    .expect("child starves")
+    .0;
+    let predicted = cs_model::starvation_time(l as f64, rate * 0.5, rate).expect("r↓ < R/K");
+    println!("  Eq.4 starvation: measured {measured:.1}s to fall {l} more blocks vs {predicted:.1}s");
+    shape_check!(
+        (measured - predicted).abs() <= predicted * 0.5 + 4.0,
+        "starvation time within tolerance of Eq.4"
+    );
+
+    // ---- Eq. (5): dilution with D+1 children on a D-capacity server ----
+    let d = 4u32;
+    let bw = Bandwidth((rate * d as f64 * block_bits) as u64);
+    let mut eng = micro_world(bw, d + 1, 33);
+    // After the children subscribe, each is served at D/(D+1)·R/K, so lag
+    // grows at R/K/(D+1) blocks/s. Measure the growth over 60 s.
+    eng.run_until(SimTime::from_secs(120));
+    let lag_of = |eng: &Engine<CsWorld>, ix: u32, t: SimTime| -> f64 {
+        let world = eng.world();
+        let peer = world.peer(cs_net::NodeId(2 + ix)).expect("alive");
+        let own = peer.buffer.as_ref().and_then(|b| b.latest(0)).unwrap_or(0);
+        world.params.live_edge(t).unwrap_or(0) as f64 - own as f64
+    };
+    let t0 = SimTime::from_secs(120);
+    let lag0: f64 = (0..=d).map(|i| lag_of(&eng, i, t0)).sum::<f64>() / (d + 1) as f64;
+    let t1 = SimTime::from_secs(180);
+    eng.run_until(t1);
+    let lag1: f64 = (0..=d).map(|i| lag_of(&eng, i, t1)).sum::<f64>() / (d + 1) as f64;
+    let growth = (lag1 - lag0) / 60.0;
+    let predicted_growth = rate - cs_model::diluted_rate(d, rate);
+    println!(
+        "  Eq.5 dilution (D={d}): mean lag growth {growth:.2} blocks/s vs R/K/(D+1) = {predicted_growth:.2}"
+    );
+    shape_check!(
+        (growth - predicted_growth).abs() <= predicted_growth * 0.5 + 0.3,
+        "bandwidth dilution matches Eq.5"
+    );
+
+    // ---- Eq. (6): loss probability is monotone in degree ---------------
+    println!("  Eq.6 competition-loss probability (uniform slack):");
+    let mut prev = f64::INFINITY;
+    for dd in [1u32, 2, 4, 8] {
+        let p = cs_model::p_lose_within(dd, 96.0, 10.0, 1.6);
+        println!("    D_p={dd}: P(lose within T_a) = {p:.3}");
+        shape_check!(p <= prev, "P(lose) falls with parent degree (clogging force)");
+        prev = p;
+    }
+
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("eq/micro_world_60s", |b| {
+        b.iter(|| {
+            let mut eng = micro_world(Bandwidth::mbps(2), 1, 7);
+            eng.run_until(SimTime::from_secs(120));
+            black_box(eng.world().stats.blocks_delivered)
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,55 @@
+//! FIG3A/FIG3B — user-type distribution and upload-contribution skew.
+//!
+//! Paper: ~30 % of users are public (direct-connect + UPnP) and those
+//! users contribute more than 80 % of all uploaded bytes.
+
+use coolstreaming::experiments::{fig3_user_types, LogView};
+use criterion::{black_box, Criterion};
+use cs_bench::{banner, criterion_quick, shape_check, steady_artifacts};
+
+fn main() {
+    banner(
+        "FIG3",
+        "~30% public users contribute >80% of upload bytes (Figs. 3a/3b)",
+    );
+    let artifacts = steady_artifacts(0.5, 30, 303);
+    let view = LogView::build(&artifacts);
+    let fig3 = fig3_user_types(&artifacts, &view);
+    print!("{}", fig3.render());
+
+    let truth_total: usize = fig3.truth.values().sum();
+    let truth_public = fig3.truth.get("direct").unwrap_or(&0) + fig3.truth.get("upnp").unwrap_or(&0);
+    let truth_public_share = truth_public as f64 / truth_total.max(1) as f64;
+    shape_check!(
+        (truth_public_share - 0.30).abs() < 0.05,
+        "ground-truth public share {:.1}% ≈ 30%",
+        100.0 * truth_public_share
+    );
+    let inf_total: usize = fig3.inferred.values().sum();
+    let inf_public =
+        fig3.inferred.get("direct").unwrap_or(&0) + fig3.inferred.get("upnp").unwrap_or(&0);
+    let inf_public_share = inf_public as f64 / inf_total.max(1) as f64;
+    shape_check!(
+        inf_public_share > 0.10 && inf_public_share <= truth_public_share + 0.02,
+        "inferred public share {:.1}% is positive but undercounts truth (§V.B: errors can occur)",
+        100.0 * inf_public_share
+    );
+    shape_check!(
+        fig3.top30_upload_share > 0.80,
+        "top-30% of peers contribute {:.1}% > 80% of upload",
+        100.0 * fig3.top30_upload_share
+    );
+    shape_check!(
+        fig3.public_upload_share > 0.70,
+        "public classes contribute {:.1}% of upload",
+        100.0 * fig3.public_upload_share
+    );
+    shape_check!(fig3.gini > 0.6, "upload gini {:.2} heavily skewed", fig3.gini);
+
+    // Timed kernel: the classification + Lorenz analytics.
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("fig03/extract", |b| {
+        b.iter(|| black_box(fig3_user_types(&artifacts, &view)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,65 @@
+//! FIG4 — overlay convergence (§V.B.2): peers clog under public parents,
+//! NAT↔NAT "random links" stay rare, and the §IV-derived Markov model
+//! predicts the converged share.
+
+use coolstreaming::experiments::fig4_convergence;
+use criterion::{black_box, Criterion};
+use cs_bench::{banner, criterion_quick, shape_check, steady_artifacts};
+use cs_model::ConvergenceModel;
+
+fn main() {
+    banner(
+        "FIG4",
+        "overlay converges: most parent edges public; NAT/firewall random links rare",
+    );
+    let artifacts = steady_artifacts(0.8, 40, 404);
+    let fig4 = fig4_convergence(&artifacts);
+    print!("{}", fig4.render());
+
+    let final_share = fig4.final_public_share();
+    shape_check!(
+        final_share > 0.6,
+        "converged public+server parent share {:.1}% dominates",
+        100.0 * final_share
+    );
+    let last_natfw = fig4.series.last().map(|&(_, _, n, _)| n).unwrap_or(1.0);
+    shape_check!(
+        last_natfw < 0.20,
+        "NAT↔NAT partnership links {:.1}% are rare",
+        100.0 * last_natfw
+    );
+    let depth_ok = fig4
+        .series
+        .last()
+        .map(|&(_, _, _, d)| d > 1.0 && d < 10.0)
+        .unwrap_or(false);
+    shape_check!(depth_ok, "overlay depth is shallow (tree-like with random links)");
+
+    // Model comparison: the two-state chain's stationary share should land
+    // in the same regime as the simulated overlay.
+    let p = artifacts.world.params;
+    let model = ConvergenceModel::from_competition(
+        2,
+        24,
+        p.ts_blocks as f64,
+        p.ta.as_secs_f64(),
+        p.substream_block_rate(),
+        0.8,
+        0.02,
+    );
+    println!(
+        "  model stationary {:.1}% vs simulated {:.1}%",
+        100.0 * model.stationary(),
+        100.0 * final_share
+    );
+    shape_check!(
+        (model.stationary() - final_share).abs() < 0.35,
+        "Markov model and simulation agree on the convergence regime"
+    );
+
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("fig04/model_1000_rounds", |b| {
+        b.iter(|| black_box(model.share_after(0.0, 1000)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,72 @@
+//! FIG5A/FIG5B — the population over the broadcast day: diurnal climb,
+//! evening ramp to the peak, and the 22:00 program-end cliff.
+
+use coolstreaming::experiments::{fig5_population, render_population, LogView};
+use criterion::{black_box, Criterion};
+use cs_bench::{banner, criterion_quick, event_day_artifacts, shape_check};
+use cs_sim::SimTime;
+
+fn main() {
+    banner(
+        "FIG5",
+        "population ramps through the day, peaks 19:00–22:00, drops at program end",
+    );
+    let artifacts = event_day_artifacts(0.01, 505);
+    let view = LogView::build(&artifacts);
+    let day = fig5_population(&view, SimTime::ZERO, SimTime::from_hours(24), SimTime::from_mins(15));
+    print!("{}", render_population(&day));
+    let evening = fig5_population(
+        &view,
+        SimTime::from_hours(18),
+        SimTime::from_hours(24),
+        SimTime::from_mins(5),
+    );
+    println!("FIG5b evening zoom:");
+    print!("{}", render_population(&evening));
+
+    let pop_at = |h: f64| -> i64 {
+        let t = SimTime::from_secs_f64(h * 3600.0);
+        day.iter()
+            .min_by_key(|(bt, _)| bt.saturating_sub(t).as_micros().max(t.saturating_sub(*bt).as_micros()))
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
+    let night = pop_at(3.0);
+    let noon = pop_at(12.5);
+    let (peak_t, peak) = day
+        .iter()
+        .max_by_key(|(_, c)| *c)
+        .map(|(t, c)| (*t, *c))
+        .unwrap();
+    let after_end = pop_at(22.6);
+
+    shape_check!(night < noon && noon < peak, "diurnal ordering night {night} < noon {noon} < peak {peak}");
+    let peak_hour = peak_t.hour_of_day();
+    shape_check!(
+        (18.0..22.5).contains(&peak_hour),
+        "peak at {peak_hour:.1}h falls in prime time"
+    );
+    shape_check!(
+        (after_end as f64) < 0.6 * peak as f64,
+        "22:00 program-end cliff: {after_end} after vs {peak} peak"
+    );
+    shape_check!(peak >= 100, "peak population {peak} large enough to be meaningful");
+
+    let intervals: Vec<(SimTime, Option<SimTime>)> = view
+        .sessions
+        .iter()
+        .filter_map(|s| s.join.map(|j| (j, s.leave)))
+        .collect();
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("fig05/concurrency_curve", |b| {
+        b.iter(|| {
+            black_box(cs_analysis::concurrency_curve(
+                &intervals,
+                SimTime::ZERO,
+                SimTime::from_hours(24),
+                SimTime::from_mins(5),
+            ))
+        })
+    });
+    c.final_summary();
+}

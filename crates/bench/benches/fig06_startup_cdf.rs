@@ -1,0 +1,58 @@
+//! FIG6 — startup-latency CDFs: start-subscription time, media-player
+//! ready time, and their difference (the buffer-fill wait).
+//!
+//! Paper: most users start quickly; the distributions are heavy-tailed;
+//! the buffer fill takes 10–20 s on average.
+
+use coolstreaming::experiments::{fig6_startup, LogView};
+use criterion::{black_box, Criterion};
+use cs_analysis::Cdf;
+use cs_bench::{banner, criterion_quick, shape_check, steady_artifacts};
+use cs_sim::SimTime;
+
+fn main() {
+    banner(
+        "FIG6",
+        "fast start for most users, heavy tail; buffer fill ≈ 10–20 s",
+    );
+    let artifacts = steady_artifacts(0.5, 30, 606);
+    let view = LogView::build(&artifacts);
+    let fig6 = fig6_startup(&view, SimTime::ZERO, SimTime::MAX);
+    print!("{}", fig6.render());
+
+    let ss_median = fig6.start_sub.median().unwrap();
+    let ready_median = fig6.ready.median().unwrap();
+    let fill_median = fig6.buffer_fill.median().unwrap();
+    shape_check!(
+        ss_median < 5.0,
+        "start-subscription median {ss_median:.1}s is seconds-fast"
+    );
+    shape_check!(
+        (8.0..45.0).contains(&ready_median),
+        "media-ready median {ready_median:.1}s in the paper's regime"
+    );
+    shape_check!(
+        (8.0..30.0).contains(&fill_median),
+        "buffer-fill median {fill_median:.1}s ≈ the 10–20 s the paper reports"
+    );
+    // Heavy tail: p99 well beyond the median.
+    let tail = fig6.ready.tail_ratio().unwrap();
+    shape_check!(tail > 1.8, "media-ready tail ratio {tail:.1} (heavy-tailed)");
+    // Ordering: ready dominates start-sub everywhere.
+    shape_check!(
+        ready_median > ss_median,
+        "media-ready strictly after start-subscription"
+    );
+
+    let samples: Vec<f64> = view
+        .sessions
+        .iter()
+        .filter_map(|s| s.ready_delay())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("fig06/cdf_build", |b| {
+        b.iter(|| black_box(Cdf::new(samples.clone())))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,44 @@
+//! FIG7 — media-player-ready time across the four day periods.
+//!
+//! Paper: the ready time is considerably longer during period (iii)
+//! 17:30–20:29, when the join rate is highest (flash crowds fill mCaches
+//! with useless newly-joined peers).
+
+use coolstreaming::experiments::{fig7_ready_by_period, render_fig7, LogView};
+use criterion::{black_box, Criterion};
+use cs_bench::{banner, criterion_quick, event_day_artifacts, shape_check};
+
+fn main() {
+    banner(
+        "FIG7",
+        "media-ready time worst in the high-join-rate period 17:30–20:29",
+    );
+    let artifacts = event_day_artifacts(0.01, 707);
+    let view = LogView::build(&artifacts);
+    let periods = fig7_ready_by_period(&view);
+    print!("{}", render_fig7(&periods));
+
+    let median = |ix: usize| periods[ix].1.median().unwrap_or(f64::NAN);
+    let (m_i, m_ii, m_iii, m_iv) = (median(0), median(1), median(2), median(3));
+    shape_check!(
+        m_iii > m_i && m_iii > m_ii,
+        "period iii median {m_iii:.1}s exceeds daytime periods ({m_i:.1}s, {m_ii:.1}s)"
+    );
+    shape_check!(
+        m_iii >= m_iv * 0.95,
+        "period iii ({m_iii:.1}s) at least matches the late period ({m_iv:.1}s)"
+    );
+    for (label, cdf) in &periods {
+        shape_check!(
+            cdf.len() > 50,
+            "period {label} has enough joins ({}) to be meaningful",
+            cdf.len()
+        );
+    }
+
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("fig07/extract", |b| {
+        b.iter(|| black_box(fig7_ready_by_period(&view)))
+    });
+    c.final_summary();
+}

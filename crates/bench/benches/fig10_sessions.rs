@@ -1,0 +1,81 @@
+//! FIG10A/FIG10B — session-duration distribution and join retries.
+//!
+//! Paper: durations are heavy-tailed (stable viewers stay for the whole
+//! program) **and** a significant sub-minute mass exists (failed joins);
+//! a noticeable fraction of users needs 1–2 extra attempts, and flash
+//! crowds drive it up.
+
+use coolstreaming::experiments::{fig10_sessions, LogView};
+use coolstreaming::Scenario;
+use criterion::{black_box, Criterion};
+use cs_analysis::retries_per_user;
+use cs_bench::{banner, criterion_quick, shape_check};
+use cs_sim::SimTime;
+use cs_workload::{Spike, Workload};
+
+fn main() {
+    banner(
+        "FIG10",
+        "heavy-tailed durations + sub-minute mass; retries rise under flash crowds",
+    );
+    // Evening window of the event day — joins, program end, churn.
+    let artifacts = Scenario::event_day(0.02)
+        .with_seed(1010)
+        .with_window(SimTime::from_hours(18), SimTime::from_hours(23))
+        .run();
+    let view = LogView::build(&artifacts);
+    let fig10 = fig10_sessions(&view);
+    print!("{}", fig10.render());
+
+    shape_check!(
+        (0.05..0.6).contains(&fig10.sub_minute_fraction),
+        "sub-minute session mass {:.1}% is significant",
+        100.0 * fig10.sub_minute_fraction
+    );
+    shape_check!(
+        fig10.durations.tail_ratio().unwrap_or(0.0) > 5.0,
+        "duration tail ratio {:.1} is heavy",
+        fig10.durations.tail_ratio().unwrap_or(0.0)
+    );
+    shape_check!(
+        (0.03..0.6).contains(&fig10.retried_fraction),
+        "users retrying ≥1×: {:.1}%",
+        100.0 * fig10.retried_fraction
+    );
+
+    // Flash crowd raises the retry rate (the paper's closing point).
+    let calm = Scenario::steady(0.4)
+        .with_seed(11)
+        .with_window(SimTime::ZERO, SimTime::from_mins(25))
+        .run();
+    let mut wl = Workload::steady(0.4);
+    wl.profile.spikes.push(Spike {
+        start: SimTime::from_mins(8),
+        duration: SimTime::from_mins(4),
+        multiplier: 12.0,
+    });
+    let crowded = Scenario::steady(0.4)
+        .with_workload(wl)
+        .with_seed(11)
+        .with_window(SimTime::ZERO, SimTime::from_mins(25))
+        .run();
+    let calm_retry = fig10_sessions(&LogView::build(&calm)).retried_fraction;
+    let crowd_retry = fig10_sessions(&LogView::build(&crowded)).retried_fraction;
+    println!(
+        "  retried fraction: calm {:.1}% vs flash crowd {:.1}%",
+        100.0 * calm_retry,
+        100.0 * crowd_retry
+    );
+    shape_check!(
+        crowd_retry > calm_retry,
+        "flash crowd raises retries ({:.1}% → {:.1}%)",
+        100.0 * calm_retry,
+        100.0 * crowd_retry
+    );
+
+    let mut c: Criterion = criterion_quick();
+    c.bench_function("fig10/retries_per_user", |b| {
+        b.iter(|| black_box(retries_per_user(&view.sessions)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,90 @@
+//! Minimal dependency-free argument parsing for the `coolstream` binary.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    /// `--key value` pairs; a flag without a following value maps to "".
+    pub flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse an iterator of raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Args {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => String::new(),
+                };
+                args.flags.insert(key.to_string(), value);
+            } else if args.command.is_none() {
+                args.command = Some(a);
+            }
+        }
+        args
+    }
+
+    /// Typed flag lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String flag lookup.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare flag is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse("run --scale 0.05 --seed 7 --quiet");
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("scale", 0.0f64), 0.05);
+        assert_eq!(a.get("seed", 0u64), 7);
+        assert!(a.has("quiet"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn defaults_apply_when_missing_or_unparsable() {
+        let a = parse("analyze --scale abc");
+        assert_eq!(a.get("scale", 1.5f64), 1.5);
+        assert_eq!(a.get("seed", 42u64), 42);
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse("");
+        assert_eq!(a.command, None);
+        assert!(a.flags.is_empty());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_gets_empty_value() {
+        let a = parse("run --quiet --seed 1");
+        assert_eq!(a.get_str("quiet"), Some(""));
+        assert_eq!(a.get("seed", 0u64), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! `coolstream` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! coolstream run      [--preset event_day|steady] [--scale F] [--rate F]
+//!                     [--seed N] [--start-h F] [--end-h F]
+//!                     [--config scenario.json] [--out DIR] [--quiet]
+//! coolstream analyze  --log FILE [--out DIR]
+//! coolstream config   [--preset event_day|steady] [--scale F] [--rate F]
+//! coolstream help
+//! ```
+//!
+//! `run` executes a scenario and writes `log.txt`, `summary.json`,
+//! `figures.txt` and `sessions.csv` into `--out` (default `./out`).
+//! The `analyze` command re-derives the log-based figures from a previously saved
+//! `log.txt` — the measurement-study workflow without re-simulating.
+//! `config` prints a scenario JSON to stdout for editing.
+
+mod args;
+mod output;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use args::Args;
+use coolstreaming::experiments::{
+    fig10_sessions, fig6_startup, fig7_ready_by_period, render_fig7, LogView,
+};
+use coolstreaming::Scenario;
+use cs_logging::LogServer;
+use cs_sim::SimTime;
+
+fn build_scenario(args: &Args) -> Result<Scenario, String> {
+    if let Some(path) = args.get_str("config") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        return serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"));
+    }
+    let preset = args.get_str("preset").unwrap_or("steady");
+    let mut scenario = match preset {
+        "event_day" => Scenario::event_day(args.get("scale", 0.02)),
+        "steady" => Scenario::steady(args.get("rate", 0.5)),
+        other => return Err(format!("unknown preset {other:?} (event_day|steady)")),
+    };
+    scenario.seed = args.get("seed", scenario.seed);
+    if args.has("start-h") || args.has("end-h") {
+        let start = SimTime::from_secs_f64(args.get("start-h", 0.0) * 3600.0);
+        let default_end = scenario.horizon.as_secs_f64() / 3600.0;
+        let end = SimTime::from_secs_f64(args.get("end-h", default_end) * 3600.0);
+        if end <= start {
+            return Err("end-h must exceed start-h".into());
+        }
+        scenario.start = start;
+        scenario.horizon = end;
+    } else if preset == "steady" {
+        scenario.horizon = SimTime::from_mins(args.get("minutes", 20));
+    }
+    Ok(scenario)
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let scenario = build_scenario(args)?;
+    let quiet = args.has("quiet");
+    if !quiet {
+        eprintln!(
+            "running {} → {} (seed {})…",
+            scenario.start, scenario.horizon, scenario.seed
+        );
+    }
+    let artifacts = scenario.run();
+    let view = LogView::build(&artifacts);
+    let out: PathBuf = args.get_str("out").unwrap_or("out").into();
+    output::write_outputs(&out, &artifacts, &view, scenario.horizon)
+        .map_err(|e| format!("write outputs: {e}"))?;
+    if !quiet {
+        let s = output::summarize(&artifacts, &view);
+        eprintln!(
+            "done: {} arrivals, {} events, continuity {:.2}%, ready median {:.1}s → {}",
+            s.arrivals,
+            s.events,
+            100.0 * s.mean_continuity,
+            s.ready_median_s,
+            out.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let path = args
+        .get_str("log")
+        .ok_or("analyze requires --log FILE")?
+        .to_string();
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let server = LogServer::from_text(&text)?;
+    let (reports, bad) = server.parse_all();
+    if !bad.is_empty() {
+        eprintln!("warning: {} malformed log lines skipped", bad.len());
+    }
+    let sessions = cs_analysis::reconstruct(&reports);
+    let view = LogView {
+        reports,
+        sessions,
+    };
+    println!(
+        "{} log lines, {} sessions\n",
+        server.len(),
+        view.sessions.len()
+    );
+    print!(
+        "{}",
+        fig6_startup(&view, SimTime::ZERO, SimTime::MAX).render()
+    );
+    print!("{}", render_fig7(&fig7_ready_by_period(&view)));
+    print!("{}", fig10_sessions(&view).render());
+    if let Some(dir) = args.get_str("out") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("sessions.csv"), output::sessions_csv(&view))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote {}", dir.join("sessions.csv").display());
+    }
+    Ok(())
+}
+
+fn cmd_config(args: &Args) -> Result<(), String> {
+    let scenario = build_scenario(args)?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&scenario).expect("serializable")
+    );
+    Ok(())
+}
+
+const HELP: &str = "\
+coolstream — Coolstreaming reproduction CLI
+
+USAGE:
+  coolstream run      [--preset event_day|steady] [--scale F] [--rate F]
+                      [--minutes N] [--seed N] [--start-h F] [--end-h F]
+                      [--config scenario.json] [--out DIR] [--quiet]
+  coolstream analyze  --log FILE [--out DIR]
+  coolstream config   [--preset ...]          # print a scenario JSON
+  coolstream help
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_deref() {
+        Some("run") => cmd_run(&args),
+        Some("analyze") => cmd_analyze(&args),
+        Some("config") => cmd_config(&args),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{HELP}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn build_scenario_presets() {
+        let s = build_scenario(&parse("run --preset steady --rate 0.8 --minutes 5")).unwrap();
+        assert_eq!(s.horizon, SimTime::from_mins(5));
+        let e = build_scenario(&parse("run --preset event_day --scale 0.01 --seed 9")).unwrap();
+        assert_eq!(e.seed, 9);
+        assert_eq!(e.horizon, SimTime::from_hours(24));
+        assert!(build_scenario(&parse("run --preset nope")).is_err());
+    }
+
+    #[test]
+    fn window_flags_override() {
+        let s =
+            build_scenario(&parse("run --preset event_day --start-h 18 --end-h 19.5")).unwrap();
+        assert_eq!(s.start, SimTime::from_hours(18));
+        assert_eq!(s.horizon, SimTime::from_secs(19 * 3600 + 1800));
+        assert!(build_scenario(&parse("run --start-h 5 --end-h 4")).is_err());
+    }
+
+    #[test]
+    fn scenario_json_round_trips() {
+        let s = build_scenario(&parse("config --preset event_day --scale 0.03")).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, s.seed);
+        assert_eq!(back.horizon, s.horizon);
+        assert_eq!(back.servers, s.servers);
+    }
+}

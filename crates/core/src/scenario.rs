@@ -1,0 +1,252 @@
+//! Scenario assembly and execution: the one-stop entry point.
+//!
+//! ```
+//! use coolstreaming::Scenario;
+//! use cs_sim::SimTime;
+//!
+//! let artifacts = Scenario::event_day(0.002)  // tiny doc-test scale
+//!     .with_seed(7)
+//!     .with_window(SimTime::from_hours(19), SimTime::from_hours(19) + SimTime::from_mins(10))
+//!     .run();
+//! assert!(artifacts.world.stats.arrivals > 0);
+//! ```
+
+use cs_net::{Bandwidth, ConnectivityPolicy, LatencyModel, Network};
+use cs_proto::{finalize_sessions, CsWorld, Event, Params};
+use cs_sim::{Engine, RunStats, SimTime};
+use cs_workload::Workload;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Everything that defines a run. Construct via [`Scenario::event_day`] /
+/// [`Scenario::steady`] and the `with_*` modifiers. Serializable, so runs
+/// can be specified as JSON configs (see the `cs-cli` crate).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Protocol parameters (Table I).
+    pub params: Params,
+    /// The audience.
+    pub workload: Workload,
+    /// Middlebox reachability policy.
+    pub policy: ConnectivityPolicy,
+    /// Wide-area latency model.
+    pub latency: LatencyModel,
+    /// Dedicated server count (24 in the real event; scaled down with the
+    /// population).
+    pub servers: usize,
+    /// Per-server uplink.
+    pub server_bw: Bandwidth,
+    /// Master seed.
+    pub seed: u64,
+    /// Window start (arrivals begin here; the system starts empty).
+    pub start: SimTime,
+    /// Window end.
+    pub horizon: SimTime,
+    /// Topology snapshot cadence (`None` = off).
+    pub snapshot_interval: Option<SimTime>,
+}
+
+/// The real event's scale constants: ~40 k peak concurrent users were
+/// served by 24 × 100 Mbps servers. `scale` multiplies the audience; the
+/// aggregate server capacity scales along so capacity *ratios* (and hence
+/// every ratio-driven figure) are preserved.
+const FULL_SCALE_PEAK_RATE: f64 = 25.0; // arrivals/s at the evening peak
+const FULL_SCALE_SERVERS: f64 = 24.0;
+
+impl Scenario {
+    /// The 2006-09-27 broadcast day at population scale `scale`
+    /// (1.0 ≈ 40 k peak concurrent users; 0.1 ≈ 4 k).
+    pub fn event_day(scale: f64) -> Scenario {
+        assert!(scale > 0.0);
+        let servers = (FULL_SCALE_SERVERS * scale).ceil().max(1.0);
+        // Preserve aggregate server bandwidth: `servers × bw` equals the
+        // scaled 24 × 100 Mbps.
+        let server_bw =
+            Bandwidth((FULL_SCALE_SERVERS * scale * 100e6 / servers).round() as u64);
+        Scenario {
+            params: Params::default(),
+            workload: Workload::event_day(FULL_SCALE_PEAK_RATE * scale),
+            policy: ConnectivityPolicy::default(),
+            latency: LatencyModel::default(),
+            servers: servers as usize,
+            server_bw,
+            seed: 20060927,
+            start: SimTime::ZERO,
+            horizon: SimTime::from_hours(24),
+            snapshot_interval: Some(SimTime::from_secs(60)),
+        }
+    }
+
+    /// A steady-state scenario: constant arrival rate, no program ends.
+    /// `rate` is in arrivals per second.
+    pub fn steady(rate: f64) -> Scenario {
+        let scale = rate / FULL_SCALE_PEAK_RATE;
+        let mut s = Scenario::event_day(scale.max(1e-6));
+        s.workload = Workload::steady(rate);
+        s.horizon = SimTime::from_hours(1);
+        s
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restrict the run to `[start, horizon)`.
+    pub fn with_window(mut self, start: SimTime, horizon: SimTime) -> Self {
+        assert!(horizon > start);
+        self.start = start;
+        self.horizon = horizon;
+        self
+    }
+
+    /// Replace the protocol parameters.
+    pub fn with_params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Replace the workload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Set the server fleet explicitly.
+    pub fn with_servers(mut self, count: usize, bw: Bandwidth) -> Self {
+        self.servers = count;
+        self.server_bw = bw;
+        self
+    }
+
+    /// Set the snapshot cadence.
+    pub fn with_snapshots(mut self, interval: Option<SimTime>) -> Self {
+        self.snapshot_interval = interval;
+        self
+    }
+
+    /// Execute the scenario to completion.
+    pub fn run(&self) -> RunArtifacts {
+        let arrivals = self.workload.generate(self.seed, self.start, self.horizon);
+        self.run_with_arrivals(arrivals)
+    }
+
+    /// Execute with an explicit arrival schedule instead of generating
+    /// one from the workload — the entry point for multi-channel runs
+    /// and replay tooling.
+    pub fn run_with_arrivals(
+        &self,
+        arrivals: Vec<(SimTime, cs_proto::UserSpec)>,
+    ) -> RunArtifacts {
+        let net = Network::new(self.policy, self.latency, self.seed);
+        let mut world = CsWorld::new(self.params, net, self.servers, self.server_bw, self.seed);
+        world.snapshot_interval = self.snapshot_interval;
+        let n_arrivals = arrivals.len();
+
+        let mut engine = Engine::new(world);
+        // Guard against protocol bugs that self-schedule forever.
+        engine.event_budget = 4_000_000_000;
+        for (t, e) in engine.world().initial_events() {
+            engine.schedule_at(t.max(self.start), e);
+        }
+        for (t, spec) in arrivals {
+            engine.schedule_at(t, Event::Arrive(spec));
+        }
+        let run_stats = engine.run_until(self.horizon);
+        let mut world = engine.into_world();
+        finalize_sessions(&mut world);
+        RunArtifacts {
+            world,
+            scheduled_arrivals: n_arrivals,
+            run_stats,
+        }
+    }
+}
+
+/// The output of one run.
+pub struct RunArtifacts {
+    /// The final world: log server, ground-truth sessions, snapshots,
+    /// counters, the network registry.
+    pub world: CsWorld,
+    /// Arrivals the workload scheduled (excluding protocol-driven
+    /// retries).
+    pub scheduled_arrivals: usize,
+    /// Engine statistics.
+    pub run_stats: RunStats,
+}
+
+/// Run many scenarios in parallel (rayon), preserving input order.
+pub fn run_all(scenarios: Vec<Scenario>) -> Vec<RunArtifacts> {
+    scenarios.into_par_iter().map(|s| s.run()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_proto::DepartReason;
+
+    #[test]
+    fn tiny_event_day_window_runs() {
+        let a = Scenario::event_day(0.005)
+            .with_seed(1)
+            .with_window(
+                SimTime::from_hours(19),
+                SimTime::from_hours(19) + SimTime::from_mins(20),
+            )
+            .run();
+        assert!(a.scheduled_arrivals > 20, "{}", a.scheduled_arrivals);
+        assert!(a.world.stats.arrivals as usize >= a.scheduled_arrivals);
+        // Sessions got closed out or marked still-active.
+        for s in a.world.sessions.iter().filter(|s| s.class.is_user()) {
+            assert!(s.reason.is_some(), "unfinalized session {:?}", s.node);
+        }
+        // Some users reached media-ready and reported it.
+        let ready = a
+            .world
+            .sessions
+            .iter()
+            .filter(|s| s.class.is_user() && s.ready.is_some())
+            .count();
+        assert!(ready > 0, "nobody reached media-ready");
+    }
+
+    #[test]
+    fn steady_scenario_reaches_equilibrium() {
+        let a = Scenario::steady(0.25)
+            .with_seed(2)
+            .with_window(SimTime::ZERO, SimTime::from_mins(40))
+            .run();
+        let still = a
+            .world
+            .sessions
+            .iter()
+            .filter(|s| s.reason == Some(DepartReason::StillActive))
+            .count();
+        assert!(still > 0, "population should be non-empty at the horizon");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let mk = |seed| {
+            Scenario::steady(0.2)
+                .with_seed(seed)
+                .with_window(SimTime::ZERO, SimTime::from_mins(10))
+        };
+        let seq: Vec<String> = (1..4).map(|s| mk(s).run().world.log.to_text()).collect();
+        let par = run_all((1..4).map(mk).collect());
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(*s, p.world.log.to_text(), "rayon must not change results");
+        }
+    }
+
+    #[test]
+    fn server_capacity_scales_with_population() {
+        let small = Scenario::event_day(0.01);
+        let large = Scenario::event_day(0.5);
+        let total_small = small.servers as u64 * small.server_bw.as_bps();
+        let total_large = large.servers as u64 * large.server_bw.as_bps();
+        let ratio = total_large as f64 / total_small as f64;
+        assert!((ratio - 50.0).abs() < 1.0, "aggregate ratio {ratio}");
+    }
+}

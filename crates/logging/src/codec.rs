@@ -1,0 +1,204 @@
+//! The log-string wire format.
+//!
+//! §V.A: *"Each log entry in the log file is a normal HTTP request URL
+//! string referred as a log string. … The URL string contains various
+//! number of data blocks, which are formed in `name=value` pairs and
+//! separated by `&`."*
+//!
+//! We reproduce that format byte-for-byte in spirit: ordered
+//! `name=value&name=value` pairs with percent-escaping of the three
+//! delimiter characters. The codec is deliberately permissive on decode
+//! (unknown keys are preserved, duplicate keys keep the last value) because
+//! real log pipelines must tolerate client-version skew.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Decode error for a log string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// A pair had no `=` separator.
+    MissingEquals(String),
+    /// A percent escape was malformed.
+    BadEscape(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::MissingEquals(p) => write!(f, "pair without '=': {p:?}"),
+            CodecError::BadEscape(p) => write!(f, "bad percent escape in {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn escape_into(out: &mut String, s: &str) {
+    for b in s.bytes() {
+        match b {
+            b'&' | b'=' | b'%' => {
+                let _ = write!(out, "%{b:02X}");
+            }
+            _ => out.push(b as char),
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, CodecError> {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 2 >= bytes.len() + 1 {
+                return Err(CodecError::BadEscape(s.to_string()));
+            }
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| CodecError::BadEscape(s.to_string()))?;
+            let v =
+                u8::from_str_radix(hex, 16).map_err(|_| CodecError::BadEscape(s.to_string()))?;
+            out.push(v as char);
+            i += 3;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// An ordered multimap of `name=value` pairs, the in-memory form of a log
+/// string.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Pairs {
+    // BTreeMap gives deterministic encode order, which keeps logs
+    // byte-identical across runs.
+    map: BTreeMap<String, String>,
+}
+
+impl Pairs {
+    /// Empty pair set.
+    pub fn new() -> Self {
+        Pairs::default()
+    }
+
+    /// Insert (or overwrite) a pair.
+    pub fn set(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.map.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Raw string value of `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// Parse the value of `key` as an integer-like type.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Encode as a log string.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                out.push('&');
+            }
+            escape_into(&mut out, k);
+            out.push('=');
+            escape_into(&mut out, v);
+        }
+        out
+    }
+
+    /// Decode a log string.
+    pub fn decode(s: &str) -> Result<Pairs, CodecError> {
+        let mut map = BTreeMap::new();
+        if s.is_empty() {
+            return Ok(Pairs { map });
+        }
+        for pair in s.split('&') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| CodecError::MissingEquals(pair.to_string()))?;
+            map.insert(unescape(k)?, unescape(v)?);
+        }
+        Ok(Pairs { map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut p = Pairs::new();
+        p.set("ev", "join").set("uid", 42u32).set("t", 123456u64);
+        let s = p.encode();
+        assert_eq!(Pairs::decode(&s).unwrap(), p);
+    }
+
+    #[test]
+    fn delimiters_are_escaped() {
+        let mut p = Pairs::new();
+        p.set("k&1", "a=b%c");
+        let s = p.encode();
+        assert!(!s.contains("k&1="), "raw delimiter leaked: {s}");
+        let back = Pairs::decode(&s).unwrap();
+        assert_eq!(back.get("k&1"), Some("a=b%c"));
+    }
+
+    #[test]
+    fn empty_string_decodes_to_empty() {
+        assert!(Pairs::decode("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_equals_is_an_error() {
+        assert!(matches!(
+            Pairs::decode("novalue"),
+            Err(CodecError::MissingEquals(_))
+        ));
+    }
+
+    #[test]
+    fn bad_escape_is_an_error() {
+        assert!(matches!(
+            Pairs::decode("k=%G1"),
+            Err(CodecError::BadEscape(_))
+        ));
+        assert!(matches!(Pairs::decode("k=%2"), Err(CodecError::BadEscape(_))));
+    }
+
+    #[test]
+    fn get_parsed_types() {
+        let p = Pairs::decode("n=17&f=2.5&s=hello").unwrap();
+        assert_eq!(p.get_parsed::<u32>("n"), Some(17));
+        assert_eq!(p.get_parsed::<f64>("f"), Some(2.5));
+        assert_eq!(p.get_parsed::<u32>("s"), None);
+        assert_eq!(p.get_parsed::<u32>("missing"), None);
+    }
+
+    #[test]
+    fn encode_order_is_deterministic() {
+        let mut a = Pairs::new();
+        a.set("b", 1).set("a", 2);
+        let mut b = Pairs::new();
+        b.set("a", 2).set("b", 1);
+        assert_eq!(a.encode(), b.encode());
+    }
+}

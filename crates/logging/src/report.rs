@@ -1,0 +1,345 @@
+//! Typed report schema.
+//!
+//! §V.A divides client reports into two classes:
+//!
+//! * **Activity reports** — join / start-subscription / media-player-ready
+//!   / leave, sent immediately when the event occurs;
+//! * **Status reports** — sent every 5 minutes: a *QoS report* (video data
+//!   missing at the playback deadline), a *traffic report* (bytes
+//!   downloaded/uploaded), and a *partner report* (a compact record of
+//!   partner activity).
+//!
+//! Each variant round-trips through the [`Pairs`] log-string codec.
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{CodecError, Pairs};
+
+/// Stable user identity across retries and re-entries (a "cookie").
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UserId(pub u32);
+
+/// The four session-level activity events of §V.C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// Client joined and contacted the boot-strap server.
+    Join,
+    /// Client established partnerships and started receiving data.
+    StartSubscription,
+    /// Client buffered enough data for the media player to start.
+    MediaReady,
+    /// Client left the system.
+    Leave,
+}
+
+impl ActivityKind {
+    fn code(self) -> &'static str {
+        match self {
+            ActivityKind::Join => "join",
+            ActivityKind::StartSubscription => "startsub",
+            ActivityKind::MediaReady => "ready",
+            ActivityKind::Leave => "leave",
+        }
+    }
+
+    fn from_code(s: &str) -> Option<Self> {
+        Some(match s {
+            "join" => ActivityKind::Join,
+            "startsub" => ActivityKind::StartSubscription,
+            "ready" => ActivityKind::MediaReady,
+            "leave" => ActivityKind::Leave,
+            _ => return None,
+        })
+    }
+}
+
+/// One report, as sent by a client to the log server.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Report {
+    /// Immediate activity report.
+    Activity {
+        /// Stable user identity.
+        user: UserId,
+        /// The node id of this session incarnation.
+        node: u32,
+        /// Which event.
+        kind: ActivityKind,
+        /// Whether the client sees a private local address (RFC1918) —
+        /// an input to the paper's user-type classification.
+        private_addr: bool,
+    },
+    /// Periodic QoS report: playback continuity since the last report.
+    Qos {
+        /// Stable user identity.
+        user: UserId,
+        /// Node id.
+        node: u32,
+        /// Blocks whose playback deadline passed since the last report.
+        due: u64,
+        /// Of those, blocks missing at their deadline.
+        missed: u64,
+    },
+    /// Periodic traffic report: bytes moved since the last report.
+    Traffic {
+        /// Stable user identity.
+        user: UserId,
+        /// Node id.
+        node: u32,
+        /// Bytes uploaded to other peers since the last report.
+        up: u64,
+        /// Bytes downloaded since the last report.
+        down: u64,
+    },
+    /// Periodic partner report (compact partner-activity record).
+    Partner {
+        /// Stable user identity.
+        user: UserId,
+        /// Node id.
+        node: u32,
+        /// Whether the client sees a private local address.
+        private_addr: bool,
+        /// Current number of incoming partners (they connected to us).
+        incoming: u32,
+        /// Current number of outgoing partners (we connected to them).
+        outgoing: u32,
+        /// Current number of parents actively serving us.
+        parents: u32,
+        /// Peer adaptations performed since the last report.
+        adaptations: u32,
+    },
+}
+
+impl Report {
+    /// The `user` field, common to all variants.
+    pub fn user(&self) -> UserId {
+        match *self {
+            Report::Activity { user, .. }
+            | Report::Qos { user, .. }
+            | Report::Traffic { user, .. }
+            | Report::Partner { user, .. } => user,
+        }
+    }
+
+    /// The `node` field, common to all variants.
+    pub fn node(&self) -> u32 {
+        match *self {
+            Report::Activity { node, .. }
+            | Report::Qos { node, .. }
+            | Report::Traffic { node, .. }
+            | Report::Partner { node, .. } => node,
+        }
+    }
+
+    /// Encode into a log string (the URL query part).
+    pub fn encode(&self) -> String {
+        let mut p = Pairs::new();
+        match self {
+            Report::Activity {
+                user,
+                node,
+                kind,
+                private_addr,
+            } => {
+                p.set("cls", "act")
+                    .set("uid", user.0)
+                    .set("nid", *node)
+                    .set("ev", kind.code())
+                    .set("priv", u8::from(*private_addr));
+            }
+            Report::Qos {
+                user,
+                node,
+                due,
+                missed,
+            } => {
+                p.set("cls", "qos")
+                    .set("uid", user.0)
+                    .set("nid", *node)
+                    .set("due", *due)
+                    .set("miss", *missed);
+            }
+            Report::Traffic {
+                user,
+                node,
+                up,
+                down,
+            } => {
+                p.set("cls", "traf")
+                    .set("uid", user.0)
+                    .set("nid", *node)
+                    .set("up", *up)
+                    .set("down", *down);
+            }
+            Report::Partner {
+                user,
+                node,
+                private_addr,
+                incoming,
+                outgoing,
+                parents,
+                adaptations,
+            } => {
+                p.set("cls", "part")
+                    .set("uid", user.0)
+                    .set("nid", *node)
+                    .set("priv", u8::from(*private_addr))
+                    .set("in", *incoming)
+                    .set("out", *outgoing)
+                    .set("par", *parents)
+                    .set("adapt", *adaptations);
+            }
+        }
+        p.encode()
+    }
+
+    /// Decode a log string back into a typed report.
+    pub fn decode(s: &str) -> Result<Report, ReportError> {
+        let p = Pairs::decode(s)?;
+        let cls = p.get("cls").ok_or(ReportError::Missing("cls"))?;
+        let user = UserId(p.get_parsed("uid").ok_or(ReportError::Missing("uid"))?);
+        let node: u32 = p.get_parsed("nid").ok_or(ReportError::Missing("nid"))?;
+        let get = |key: &'static str| -> Result<u64, ReportError> {
+            p.get_parsed(key).ok_or(ReportError::Missing(key))
+        };
+        Ok(match cls {
+            "act" => Report::Activity {
+                user,
+                node,
+                kind: p
+                    .get("ev")
+                    .and_then(ActivityKind::from_code)
+                    .ok_or(ReportError::Missing("ev"))?,
+                private_addr: get("priv")? != 0,
+            },
+            "qos" => Report::Qos {
+                user,
+                node,
+                due: get("due")?,
+                missed: get("miss")?,
+            },
+            "traf" => Report::Traffic {
+                user,
+                node,
+                up: get("up")?,
+                down: get("down")?,
+            },
+            "part" => Report::Partner {
+                user,
+                node,
+                private_addr: get("priv")? != 0,
+                incoming: get("in")? as u32,
+                outgoing: get("out")? as u32,
+                parents: get("par")? as u32,
+                adaptations: get("adapt")? as u32,
+            },
+            other => return Err(ReportError::UnknownClass(other.to_string())),
+        })
+    }
+}
+
+/// Decode failure for a report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReportError {
+    /// Log-string syntax error.
+    Codec(CodecError),
+    /// A required key was absent or unparsable.
+    Missing(&'static str),
+    /// The `cls` discriminator was unrecognized.
+    UnknownClass(String),
+}
+
+impl From<CodecError> for ReportError {
+    fn from(e: CodecError) -> Self {
+        ReportError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Codec(e) => write!(f, "codec: {e}"),
+            ReportError::Missing(k) => write!(f, "missing key {k}"),
+            ReportError::UnknownClass(c) => write!(f, "unknown report class {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(r: Report) {
+        let s = r.encode();
+        assert_eq!(Report::decode(&s).unwrap(), r, "via {s}");
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Report::Activity {
+            user: UserId(7),
+            node: 9,
+            kind: ActivityKind::Join,
+            private_addr: true,
+        });
+        round_trip(Report::Activity {
+            user: UserId(7),
+            node: 9,
+            kind: ActivityKind::MediaReady,
+            private_addr: false,
+        });
+        round_trip(Report::Qos {
+            user: UserId(1),
+            node: 2,
+            due: 1000,
+            missed: 13,
+        });
+        round_trip(Report::Traffic {
+            user: UserId(3),
+            node: 4,
+            up: 123_456_789,
+            down: 987_654_321,
+        });
+        round_trip(Report::Partner {
+            user: UserId(5),
+            node: 6,
+            private_addr: true,
+            incoming: 3,
+            outgoing: 4,
+            parents: 5,
+            adaptations: 2,
+        });
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        assert!(matches!(
+            Report::decode("cls=wat&uid=1&nid=2"),
+            Err(ReportError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn missing_key_rejected() {
+        assert!(matches!(
+            Report::decode("cls=qos&uid=1&nid=2&due=5"),
+            Err(ReportError::Missing("miss"))
+        ));
+    }
+
+    #[test]
+    fn activity_kind_codes_round_trip() {
+        for k in [
+            ActivityKind::Join,
+            ActivityKind::StartSubscription,
+            ActivityKind::MediaReady,
+            ActivityKind::Leave,
+        ] {
+            assert_eq!(ActivityKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(ActivityKind::from_code("nope"), None);
+    }
+}

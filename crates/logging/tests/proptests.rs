@@ -1,0 +1,101 @@
+//! Property tests: every representable report survives the log-string
+//! round trip, including through the text log-file format.
+
+use cs_logging::{ActivityKind, LogServer, Pairs, Report, UserId};
+use cs_sim::SimTime;
+use proptest::prelude::*;
+
+fn arb_activity_kind() -> impl Strategy<Value = ActivityKind> {
+    prop_oneof![
+        Just(ActivityKind::Join),
+        Just(ActivityKind::StartSubscription),
+        Just(ActivityKind::MediaReady),
+        Just(ActivityKind::Leave),
+    ]
+}
+
+fn arb_report() -> impl Strategy<Value = Report> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), arb_activity_kind(), any::<bool>()).prop_map(
+            |(u, n, kind, private_addr)| Report::Activity {
+                user: UserId(u),
+                node: n,
+                kind,
+                private_addr,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(u, n, due, m)| {
+            Report::Qos {
+                user: UserId(u),
+                node: n,
+                due,
+                missed: m.min(due),
+            }
+        }),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(u, n, up, down)| {
+            Report::Traffic {
+                user: UserId(u),
+                node: n,
+                up,
+                down,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>()
+        )
+            .prop_map(|(u, n, p, i, o, par, a)| Report::Partner {
+                user: UserId(u),
+                node: n,
+                private_addr: p,
+                incoming: i as u32,
+                outgoing: o as u32,
+                parents: par as u32,
+                adaptations: a as u32,
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn report_round_trips(r in arb_report()) {
+        let encoded = r.encode();
+        prop_assert_eq!(Report::decode(&encoded).unwrap(), r);
+    }
+
+    #[test]
+    fn pairs_round_trip_arbitrary_ascii(
+        kvs in proptest::collection::btree_map("[ -~]{1,20}", "[ -~]{0,30}", 0..10)
+    ) {
+        let mut p = Pairs::new();
+        for (k, v) in &kvs {
+            p.set(k, v);
+        }
+        let decoded = Pairs::decode(&p.encode()).unwrap();
+        for (k, v) in &kvs {
+            prop_assert_eq!(decoded.get(k), Some(v.as_str()));
+        }
+    }
+
+    #[test]
+    fn log_file_round_trips(reports in proptest::collection::vec((any::<u32>(), arb_report()), 0..50)) {
+        let mut server = LogServer::new();
+        for (t, r) in &reports {
+            server.report(SimTime::from_micros(*t as u64), r);
+        }
+        let back = LogServer::from_text(&server.to_text()).unwrap();
+        prop_assert_eq!(back.entries(), server.entries());
+        let (ok, bad) = back.parse_all();
+        prop_assert!(bad.is_empty());
+        prop_assert_eq!(ok.len(), reports.len());
+        for ((t, r), (pt, pr)) in reports.iter().zip(ok.iter()) {
+            prop_assert_eq!(SimTime::from_micros(*t as u64), *pt);
+            prop_assert_eq!(r, pr);
+        }
+    }
+}

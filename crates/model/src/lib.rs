@@ -1,0 +1,22 @@
+//! # cs-model — the paper's analytical models
+//!
+//! §IV.C in closed form ([`dynamics`]): catch-up time (Eq. 3), starvation
+//! time (Eq. 4), bandwidth dilution (Eq. 5) and the competition-loss
+//! probability (Eq. 6); plus the §V.B topology-convergence argument as a
+//! two-state Markov chain ([`convergence`]).
+//!
+//! These are validated against the simulator by the `eq_dynamics` and
+//! `fig04` bench targets: the simulation should track the model where the
+//! model's assumptions hold, and the bench output records where it
+//! deviates.
+
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod dynamics;
+
+pub use convergence::ConvergenceModel;
+pub use dynamics::{
+    catch_up_time, diluted_rate, p_lose_within, p_lose_within_empirical, starvation_time,
+    time_to_lose, CompetitionScenario,
+};

@@ -1,0 +1,97 @@
+//! Property tests on the §IV closed forms: dimensional sanity and
+//! monotonicity over the whole parameter space.
+
+use cs_model::{
+    catch_up_time, diluted_rate, p_lose_within, starvation_time, time_to_lose, ConvergenceModel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Eq. 3: catch-up time is positive, decreasing in surplus rate and
+    /// increasing in the gap.
+    #[test]
+    fn catch_up_monotonicity(
+        l in 1.0f64..1000.0,
+        rate in 0.1f64..20.0,
+        surplus in 0.01f64..20.0,
+    ) {
+        let t = catch_up_time(l, rate + surplus, rate).unwrap();
+        prop_assert!(t > 0.0);
+        let t_faster = catch_up_time(l, rate + surplus * 2.0, rate).unwrap();
+        prop_assert!(t_faster < t);
+        let t_bigger_gap = catch_up_time(l * 2.0, rate + surplus, rate).unwrap();
+        prop_assert!((t_bigger_gap - 2.0 * t).abs() < 1e-9, "linear in l");
+        // No catch-up at or below the stream rate.
+        prop_assert!(catch_up_time(l, rate, rate).is_none());
+    }
+
+    /// Eq. 4: starvation time is positive and shrinks as the deficit
+    /// grows.
+    #[test]
+    fn starvation_monotonicity(
+        l in 1.0f64..1000.0,
+        rate in 0.1f64..20.0,
+        frac in 0.01f64..0.99,
+    ) {
+        let t = starvation_time(l, rate * frac, rate).unwrap();
+        prop_assert!(t > 0.0);
+        let t_worse = starvation_time(l, rate * frac * 0.5, rate).unwrap();
+        prop_assert!(t_worse < t, "bigger deficit starves faster");
+        prop_assert!(starvation_time(l, rate, rate).is_none());
+    }
+
+    /// Eq. 5: dilution is always below the sub-stream rate and
+    /// increasing in degree; Eqs. 4+5 compose.
+    #[test]
+    fn dilution_bounds(d in 1u32..1000, rate in 0.1f64..20.0) {
+        let r = diluted_rate(d, rate);
+        prop_assert!(r > 0.0 && r < rate);
+        prop_assert!(diluted_rate(d + 1, rate) > r);
+        // A child at the diluted rate starves in finite time.
+        prop_assert!(starvation_time(10.0, r, rate).is_some());
+    }
+
+    /// Eq. 6: probability is a probability, monotone in T_a and in
+    /// 1/(D_p+1).
+    #[test]
+    fn p_lose_is_a_probability(
+        d in 1u32..100,
+        ts in 1.0f64..500.0,
+        ta in 0.0f64..500.0,
+        rate in 0.1f64..20.0,
+    ) {
+        let p = p_lose_within(d, ts, ta, rate);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(p_lose_within(d, ts, ta * 2.0, rate) >= p, "more time, more losses");
+        prop_assert!(p_lose_within(d + 1, ts, ta, rate) <= p, "higher degree, safer");
+        // time_to_lose is non-negative and zero once slack is exhausted.
+        prop_assert!(time_to_lose(d, ts, ts, rate) == 0.0);
+        prop_assert!(time_to_lose(d, ts, 0.0, rate) >= 0.0);
+    }
+
+    /// Convergence chain: the share always stays in [0,1], the
+    /// stationary point is a fixed point, and iteration approaches it.
+    #[test]
+    fn convergence_chain_sane(
+        p_priv in 0.0f64..=1.0,
+        p_pub in 0.0f64..=1.0,
+        alpha in 0.0f64..=1.0,
+        f0 in 0.0f64..=1.0,
+    ) {
+        let m = ConvergenceModel {
+            p_leave_private: p_priv,
+            p_leave_public: p_pub,
+            alpha,
+        };
+        let f1 = m.step(f0);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        let stat = m.stationary();
+        prop_assert!((0.0..=1.0).contains(&stat));
+        prop_assert!((m.step(stat) - stat).abs() < 1e-9);
+        // After many rounds the distance to the stationary point does
+        // not grow (contraction may be 1.0 in degenerate corners).
+        let d0 = (f0 - stat).abs();
+        let d100 = (m.share_after(f0, 100) - stat).abs();
+        prop_assert!(d100 <= d0 + 1e-9);
+    }
+}

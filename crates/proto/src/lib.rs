@@ -1,0 +1,38 @@
+//! # cs-proto — the Coolstreaming protocol
+//!
+//! A from-scratch implementation of the mesh-pull (data-driven) P2P live
+//! streaming system described in §III–§IV of the paper, structured after
+//! Fig. 1's three modules:
+//!
+//! * **Membership manager** — [`MCache`] partial views filled by the
+//!   [`Bootstrap`] tracker and gossip;
+//! * **Partnership manager** — bounded partner sets with periodic
+//!   buffer-map ([`BufferMap`]) exchange;
+//! * **Stream manager** — sub-stream subscriptions ([`StreamBuffer`],
+//!   Fig. 2), the §IV.A join position rule (`m − T_p`), parent selection,
+//!   and peer adaptation driven by inequalities (1)/(2) with the `T_a`
+//!   cool-down.
+//!
+//! [`CsWorld`] wires these into a `cs-sim` event loop together with the
+//! dedicated servers, the source, and the `cs-logging` measurement
+//! apparatus. All tunables live in [`Params`] (Table I).
+
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod buffer;
+mod mcache;
+mod params;
+mod peer;
+mod session;
+mod snapshot;
+mod world;
+
+pub use bootstrap::Bootstrap;
+pub use buffer::{BufferMap, StreamBuffer};
+pub use mcache::{MCache, McEntry};
+pub use params::{Allocation, Params, ReplacePolicy, StartPolicy};
+pub use peer::{PartnerView, Peer, ReportCounters};
+pub use session::{DepartReason, SessionRecord};
+pub use snapshot::{bfs_depths, edge_bucket, EdgeBucket, TopologySnapshot};
+pub use world::{finalize_sessions, user_classes, CsWorld, Event, UserSpec, WorldStats};

@@ -1,0 +1,240 @@
+//! The membership cache (mCache) and gossip-style entry replacement.
+//!
+//! Each node keeps a *partial view* of the overlay (§III.B). Entries
+//! arrive from the boot-strap server and from gossip; when the cache is
+//! full, the deployed system replaced entries *randomly* — which §V.C
+//! identifies as the reason flash crowds fill caches with useless
+//! newly-joined peers. [`ReplacePolicy::StabilityBiased`] implements the
+//! improvement the paper proposes (converge towards stable peers), used by
+//! the `ABL-MCACHE` ablation.
+
+use cs_net::NodeId;
+use cs_sim::SimTime;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::params::ReplacePolicy;
+
+/// One mCache entry: a peer and what we know about its age.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct McEntry {
+    /// The peer.
+    pub id: NodeId,
+    /// The peer's advertised join time (gossip metadata) — the stability
+    /// signal used by [`ReplacePolicy::StabilityBiased`].
+    pub joined_at: SimTime,
+    /// When this entry entered our cache.
+    pub added_at: SimTime,
+}
+
+/// A bounded partial view of the overlay.
+#[derive(Clone, Debug)]
+pub struct MCache {
+    cap: usize,
+    entries: Vec<McEntry>,
+}
+
+impl MCache {
+    /// Empty cache with capacity `cap`.
+    pub fn new(cap: usize) -> Self {
+        MCache {
+            cap,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `id` is in the cache.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Iterate entries.
+    pub fn iter(&self) -> impl Iterator<Item = &McEntry> {
+        self.entries.iter()
+    }
+
+    /// Insert or refresh an entry, applying the replacement policy when
+    /// full. Returns `true` if the entry is now present.
+    pub fn insert<R: Rng + ?Sized>(
+        &mut self,
+        entry: McEntry,
+        policy: ReplacePolicy,
+        rng: &mut R,
+    ) -> bool {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == entry.id) {
+            existing.joined_at = entry.joined_at;
+            existing.added_at = entry.added_at;
+            return true;
+        }
+        if self.entries.len() < self.cap {
+            self.entries.push(entry);
+            return true;
+        }
+        if self.cap == 0 {
+            return false;
+        }
+        match policy {
+            ReplacePolicy::Random => {
+                let victim = rng.gen_range(0..self.entries.len());
+                self.entries[victim] = entry;
+                true
+            }
+            ReplacePolicy::StabilityBiased => {
+                // Evict the youngest peer (largest advertised join time) —
+                // but only if the candidate is older than it, so the cache
+                // monotonically converges towards stable peers.
+                let (victim, youngest) = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, e)| e.joined_at)
+                    .map(|(i, e)| (i, e.joined_at))
+                    .expect("cache non-empty");
+                if entry.joined_at < youngest {
+                    self.entries[victim] = entry;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Drop an entry (dead peer discovered).
+    pub fn remove(&mut self, id: NodeId) {
+        self.entries.retain(|e| e.id != id);
+    }
+
+    /// Uniform sample of up to `n` entries, excluding ids for which
+    /// `exclude` returns true.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        mut exclude: impl FnMut(NodeId) -> bool,
+    ) -> Vec<McEntry> {
+        let mut candidates: Vec<&McEntry> =
+            self.entries.iter().filter(|e| !exclude(e.id)).collect();
+        candidates.shuffle(rng);
+        candidates.into_iter().take(n).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_sim::rng::Xoshiro256PlusPlus;
+
+    fn e(id: u32, joined: u64) -> McEntry {
+        McEntry {
+            id: NodeId(id),
+            joined_at: SimTime::from_secs(joined),
+            added_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn insert_until_capacity_then_replace() {
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let mut c = MCache::new(3);
+        for i in 0..3 {
+            assert!(c.insert(e(i, 0), ReplacePolicy::Random, &mut rng));
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.insert(e(99, 0), ReplacePolicy::Random, &mut rng));
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(NodeId(99)));
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_metadata() {
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let mut c = MCache::new(4);
+        c.insert(e(5, 10), ReplacePolicy::Random, &mut rng);
+        c.insert(e(5, 20), ReplacePolicy::Random, &mut rng);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.iter().next().unwrap().joined_at,
+            SimTime::from_secs(20)
+        );
+    }
+
+    #[test]
+    fn stability_bias_keeps_old_peers() {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let mut c = MCache::new(2);
+        c.insert(e(1, 100), ReplacePolicy::StabilityBiased, &mut rng);
+        c.insert(e(2, 10), ReplacePolicy::StabilityBiased, &mut rng);
+        // Candidate younger than everything in cache → rejected.
+        assert!(!c.insert(e(3, 500), ReplacePolicy::StabilityBiased, &mut rng));
+        assert!(!c.contains(NodeId(3)));
+        // Candidate older than the youngest → evicts the youngest (id 1).
+        assert!(c.insert(e(4, 50), ReplacePolicy::StabilityBiased, &mut rng));
+        assert!(c.contains(NodeId(4)));
+        assert!(!c.contains(NodeId(1)));
+        assert!(c.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn random_policy_eventually_replaces_everyone() {
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        let mut c = MCache::new(4);
+        for i in 0..4 {
+            c.insert(e(i, 0), ReplacePolicy::Random, &mut rng);
+        }
+        for i in 100..200 {
+            c.insert(e(i, 0), ReplacePolicy::Random, &mut rng);
+        }
+        // With 100 random replacements into 4 slots, original entries are
+        // gone with overwhelming probability.
+        for i in 0..4 {
+            assert!(!c.contains(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn sample_respects_exclusion_and_count() {
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        let mut c = MCache::new(10);
+        for i in 0..10 {
+            c.insert(e(i, 0), ReplacePolicy::Random, &mut rng);
+        }
+        let picks = c.sample(4, &mut rng, |id| id.0 % 2 == 0);
+        assert_eq!(picks.len(), 4);
+        for p in &picks {
+            assert_eq!(p.id.0 % 2, 1, "excluded id sampled");
+        }
+        // Asking for more than available returns all non-excluded.
+        let picks = c.sample(100, &mut rng, |id| id.0 % 2 == 0);
+        assert_eq!(picks.len(), 5);
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let mut rng = Xoshiro256PlusPlus::new(6);
+        let mut c = MCache::new(4);
+        c.insert(e(1, 0), ReplacePolicy::Random, &mut rng);
+        c.remove(NodeId(1));
+        assert!(c.is_empty());
+        // Removing a missing id is a no-op.
+        c.remove(NodeId(1));
+    }
+
+    #[test]
+    fn zero_capacity_cache_rejects() {
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        let mut c = MCache::new(0);
+        assert!(!c.insert(e(1, 0), ReplacePolicy::Random, &mut rng));
+        assert!(c.is_empty());
+    }
+}

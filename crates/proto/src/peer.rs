@@ -1,0 +1,271 @@
+//! Per-peer protocol state: the three modules of Fig. 1 (membership
+//! manager, partnership manager, stream manager) plus playback bookkeeping
+//! and report counters.
+
+use std::collections::BTreeMap;
+
+use cs_logging::UserId;
+use cs_net::{Bandwidth, NodeClass, NodeId};
+use cs_sim::SimTime;
+
+use crate::buffer::StreamBuffer;
+use crate::mcache::MCache;
+use crate::params::Params;
+
+/// What a peer knows about one partner: the last exchanged buffer map and
+/// the partnership direction.
+#[derive(Clone, Debug)]
+pub struct PartnerView {
+    /// Snapshot of the partner's newest seq per sub-stream, from the last
+    /// BM exchange.
+    pub latest: Vec<Option<u64>>,
+    /// `true` if we initiated this partnership (the partner is an
+    /// *outgoing* partner in the paper's terms, §V.B).
+    pub outgoing: bool,
+    /// When the partnership was established.
+    pub since: SimTime,
+}
+
+/// Counters reset at every 5-minute status report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReportCounters {
+    /// Bytes uploaded since the last report.
+    pub up_bytes: u64,
+    /// Bytes downloaded since the last report.
+    pub down_bytes: u64,
+    /// Blocks whose playback deadline passed since the last report.
+    pub due: u64,
+    /// Of those, blocks missing at deadline.
+    pub missed: u64,
+    /// Peer adaptations performed since the last report.
+    pub adaptations: u32,
+}
+
+/// A peer (user, server, or source) participating in the overlay.
+#[derive(Debug)]
+pub struct Peer {
+    /// Network identity of this incarnation.
+    pub id: NodeId,
+    /// Stable user identity across retries.
+    pub user: UserId,
+    /// Connection class.
+    pub class: NodeClass,
+    /// Uplink capacity.
+    pub upload: Bandwidth,
+    /// Membership manager state.
+    pub mcache: MCache,
+    /// Partnership manager state: partner → last known buffer map.
+    pub partners: BTreeMap<NodeId, PartnerView>,
+    /// Stream manager: current parent per sub-stream.
+    pub parents: Vec<Option<NodeId>>,
+    /// Sub-stream subscriptions this node serves: (child, sub-stream).
+    /// Its length is the out-going sub-stream degree `D_p` of Eq. (5).
+    pub children: Vec<(NodeId, u32)>,
+    /// Buffer; `None` until the start position is chosen (§IV.A).
+    pub buffer: Option<StreamBuffer>,
+    /// Join time of this incarnation.
+    pub join_time: SimTime,
+    /// When the first sub-stream subscription was made.
+    pub start_sub: Option<SimTime>,
+    /// When the media player started.
+    pub media_ready: Option<SimTime>,
+    /// Cool-down: time of the last quality-triggered peer adaptation.
+    pub last_adapt: Option<SimTime>,
+    /// Consecutive playback ticks above the give-up loss threshold.
+    pub lossy_ticks: u32,
+    /// Playout lead observed at the previous adaptation check, for the
+    /// insufficient-rate trend test.
+    pub last_lead: Option<u64>,
+    /// Global seq of the next block to play (fractional position is
+    /// derived from `media_ready` time).
+    pub next_play: u64,
+    /// Since-last-report counters.
+    pub counters: ReportCounters,
+    /// Which retry of the user this incarnation is (0 = first attempt).
+    pub retry_index: u32,
+    /// When this incarnation intends to leave.
+    pub intended_leave: SimTime,
+    /// Retries the user still has in them after this incarnation fails.
+    pub retries_left: u32,
+    /// How long the user waits for media-ready before giving up.
+    pub patience: SimTime,
+}
+
+impl Peer {
+    /// Fresh peer state for a node that just arrived.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        user: UserId,
+        class: NodeClass,
+        upload: Bandwidth,
+        params: &Params,
+        join_time: SimTime,
+        retry_index: u32,
+        intended_leave: SimTime,
+        retries_left: u32,
+        patience: SimTime,
+    ) -> Self {
+        Peer {
+            id,
+            user,
+            class,
+            upload,
+            mcache: MCache::new(params.mcache_size),
+            partners: BTreeMap::new(),
+            parents: vec![None; params.substreams as usize],
+            children: Vec::new(),
+            buffer: None,
+            join_time,
+            start_sub: None,
+            media_ready: None,
+            last_adapt: None,
+            lossy_ticks: 0,
+            last_lead: None,
+            next_play: 0,
+            counters: ReportCounters::default(),
+            retry_index,
+            intended_leave,
+            retries_left,
+            patience,
+        }
+    }
+
+    /// Whether the peer's local address is private (RFC1918) — what the
+    /// client itself can observe and report (§V.B).
+    pub fn private_addr(&self) -> bool {
+        matches!(self.class, NodeClass::Nat | NodeClass::Upnp)
+    }
+
+    /// Out-going sub-stream degree `D_p`.
+    #[inline]
+    pub fn out_degree(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Number of incoming partners (they connected to us).
+    pub fn incoming_partners(&self) -> usize {
+        self.partners.values().filter(|v| !v.outgoing).count()
+    }
+
+    /// Number of outgoing partners (we connected to them).
+    pub fn outgoing_partners(&self) -> usize {
+        self.partners.values().filter(|v| v.outgoing).count()
+    }
+
+    /// Current number of distinct parents.
+    pub fn parent_count(&self) -> usize {
+        let mut ps: Vec<NodeId> = self.parents.iter().flatten().copied().collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps.len()
+    }
+
+    /// Register a served sub-stream subscription.
+    pub fn add_child(&mut self, child: NodeId, substream: u32) {
+        if !self.children.contains(&(child, substream)) {
+            self.children.push((child, substream));
+        }
+    }
+
+    /// Remove a served sub-stream subscription.
+    pub fn remove_child(&mut self, child: NodeId, substream: u32) {
+        self.children.retain(|&c| c != (child, substream));
+    }
+
+    /// Remove every subscription of `child`.
+    pub fn remove_child_all(&mut self, child: NodeId) {
+        self.children.retain(|&(c, _)| c != child);
+    }
+
+    /// Whether the cool-down timer permits a quality-triggered adaptation
+    /// now (§IV.B: once per `T_a`).
+    pub fn adaptation_allowed(&self, now: SimTime, ta: SimTime) -> bool {
+        self.last_adapt.map_or(true, |t| now.saturating_sub(t) >= ta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(class: NodeClass) -> Peer {
+        Peer::new(
+            NodeId(1),
+            UserId(1),
+            class,
+            Bandwidth::kbps(500),
+            &Params::default(),
+            SimTime::ZERO,
+            0,
+            SimTime::from_secs(600),
+            2,
+            SimTime::from_secs(45),
+        )
+    }
+
+    #[test]
+    fn private_addr_follows_class() {
+        assert!(peer(NodeClass::Nat).private_addr());
+        assert!(peer(NodeClass::Upnp).private_addr());
+        assert!(!peer(NodeClass::DirectConnect).private_addr());
+        assert!(!peer(NodeClass::Firewall).private_addr());
+    }
+
+    #[test]
+    fn child_bookkeeping() {
+        let mut p = peer(NodeClass::DirectConnect);
+        p.add_child(NodeId(2), 0);
+        p.add_child(NodeId(2), 1);
+        p.add_child(NodeId(3), 0);
+        p.add_child(NodeId(2), 0); // duplicate ignored
+        assert_eq!(p.out_degree(), 3);
+        p.remove_child(NodeId(2), 1);
+        assert_eq!(p.out_degree(), 2);
+        p.remove_child_all(NodeId(2));
+        assert_eq!(p.out_degree(), 1);
+        assert_eq!(p.children, vec![(NodeId(3), 0)]);
+    }
+
+    #[test]
+    fn parent_count_dedups_substreams() {
+        let mut p = peer(NodeClass::Nat);
+        p.parents[0] = Some(NodeId(9));
+        p.parents[1] = Some(NodeId(9));
+        p.parents[2] = Some(NodeId(4));
+        assert_eq!(p.parent_count(), 2);
+    }
+
+    #[test]
+    fn partner_direction_counting() {
+        let mut p = peer(NodeClass::Nat);
+        p.partners.insert(
+            NodeId(2),
+            PartnerView {
+                latest: vec![],
+                outgoing: true,
+                since: SimTime::ZERO,
+            },
+        );
+        p.partners.insert(
+            NodeId(3),
+            PartnerView {
+                latest: vec![],
+                outgoing: false,
+                since: SimTime::ZERO,
+            },
+        );
+        assert_eq!(p.outgoing_partners(), 1);
+        assert_eq!(p.incoming_partners(), 1);
+    }
+
+    #[test]
+    fn cooldown_gate() {
+        let mut p = peer(NodeClass::Nat);
+        let ta = SimTime::from_secs(20);
+        assert!(p.adaptation_allowed(SimTime::from_secs(5), ta));
+        p.last_adapt = Some(SimTime::from_secs(5));
+        assert!(!p.adaptation_allowed(SimTime::from_secs(10), ta));
+        assert!(p.adaptation_allowed(SimTime::from_secs(25), ta));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests on the protocol data structures.
+
+use cs_net::NodeId;
+use cs_proto::{BufferMap, MCache, McEntry, Params, ReplacePolicy, StreamBuffer};
+use cs_sim::rng::Xoshiro256PlusPlus;
+use cs_sim::SimTime;
+use proptest::prelude::*;
+
+/// Operations applicable to a stream buffer.
+#[derive(Clone, Debug)]
+enum BufOp {
+    Advance(u32, u64),
+    SkipTo(u32, u64),
+}
+
+fn arb_ops(k: u32) -> impl Strategy<Value = Vec<BufOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..k, 1u64..50).prop_map(|(i, n)| BufOp::Advance(i, n)),
+            (0..k, 0u64..2000).prop_map(|(i, b)| BufOp::SkipTo(i, b)),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    /// Whatever the op sequence, per-sub-stream alignment, contiguity and
+    /// hole bookkeeping stay coherent.
+    #[test]
+    fn stream_buffer_invariants(
+        k in 1u32..8,
+        start in 0u64..500,
+        ops in arb_ops(8),
+    ) {
+        let mut buf = StreamBuffer::new(k, start);
+        for op in ops {
+            match op {
+                BufOp::Advance(i, n) if i < k => { buf.advance(i, n); },
+                BufOp::SkipTo(i, b) if i < k => { buf.skip_to(i, b); },
+                _ => {}
+            }
+        }
+        for i in 0..k {
+            if let Some(h) = buf.latest(i) {
+                // Alignment: the newest seq belongs to its sub-stream.
+                prop_assert_eq!(h % k as u64, i as u64);
+                prop_assert!(h >= buf.first_wanted(i));
+                // next_missing is exactly one block further.
+                prop_assert_eq!(buf.next_missing(i), h + k as u64);
+            } else {
+                prop_assert_eq!(buf.next_missing(i), buf.first_wanted(i));
+            }
+        }
+        // Contiguous edge never exceeds the max latest and never precedes
+        // start − 1.
+        if let Some(edge) = buf.contiguous_edge() {
+            prop_assert!(edge >= start);
+            prop_assert!(edge <= buf.max_latest().unwrap());
+            prop_assert_eq!(buf.contiguous_len(), edge - start + 1);
+            // Every block up to the edge is either present or a recorded
+            // hole — sample a few points.
+            for n in [start, start + (edge - start) / 2, edge] {
+                let in_hole = buf
+                    .holes()
+                    .iter()
+                    .any(|&(s, e)| n >= s && n <= e && (n - s) % k as u64 == 0);
+                prop_assert!(buf.has_block(n) || in_hole, "block {n} unaccounted");
+            }
+        } else {
+            prop_assert_eq!(buf.contiguous_len(), 0);
+        }
+        // Blocks before start are never present.
+        if start > 0 {
+            prop_assert!(!buf.has_block(start - 1));
+        }
+    }
+
+    /// The BM wire codec round-trips any latest/subscription combination.
+    #[test]
+    fn buffer_map_codec_round_trips(
+        k in 1u32..16,
+        latests in proptest::collection::vec(proptest::option::of(0u64..u64::MAX / 2), 1..16),
+        bits in any::<u16>(),
+    ) {
+        let k = k.min(latests.len() as u32);
+        let latest: Vec<Option<u64>> = latests[..k as usize].to_vec();
+        let subscribed: Vec<bool> = (0..k).map(|i| bits & (1 << i) != 0).collect();
+        let bm = BufferMap { latest, subscribed };
+        let decoded = BufferMap::decode(k, &bm.encode()).expect("decodes");
+        prop_assert_eq!(decoded, bm);
+    }
+
+    /// mCache never exceeds capacity and never holds duplicates,
+    /// whatever the insert/remove interleaving or policy.
+    #[test]
+    fn mcache_capacity_and_uniqueness(
+        cap in 0usize..12,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u32..30, 0u64..1000, any::<bool>()), 0..80),
+        biased in any::<bool>(),
+    ) {
+        let policy = if biased {
+            ReplacePolicy::StabilityBiased
+        } else {
+            ReplacePolicy::Random
+        };
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let mut cache = MCache::new(cap);
+        for (id, joined, remove) in ops {
+            if remove {
+                cache.remove(NodeId(id));
+            } else {
+                cache.insert(
+                    McEntry {
+                        id: NodeId(id),
+                        joined_at: SimTime::from_secs(joined),
+                        added_at: SimTime::ZERO,
+                    },
+                    policy,
+                    &mut rng,
+                );
+            }
+            prop_assert!(cache.len() <= cap);
+            let mut ids: Vec<u32> = cache.iter().map(|e| e.id.0).collect();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "duplicate entries");
+        }
+    }
+
+    /// Parameter validation never panics and accepts the default under
+    /// small perturbations of the timing knobs.
+    #[test]
+    fn params_validation_is_total(
+        substreams in 0u32..20,
+        block_bytes in 0u32..100_000,
+        tp in 0u64..10_000,
+        delay in 0u64..10_000,
+        giveup in -1.0f64..2.0,
+    ) {
+        let mut p = Params::default();
+        p.substreams = substreams;
+        p.block_bytes = block_bytes;
+        p.tp_blocks = tp;
+        p.playback_delay_blocks = delay;
+        p.giveup_loss = giveup;
+        let _ = p.validate(); // must not panic
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end smoke tests for the protocol world on small scenarios.
+
+use cs_logging::{ActivityKind, Report, UserId};
+use cs_net::{Bandwidth, ConnectivityPolicy, LatencyModel, Network, NodeClass};
+use cs_proto::{finalize_sessions, CsWorld, Event, Params, UserSpec};
+use cs_sim::{Engine, SimTime};
+
+fn build_world(seed: u64, n_servers: usize) -> Engine<CsWorld> {
+    let net = Network::new(ConnectivityPolicy::default(), LatencyModel::default(), seed);
+    let world = CsWorld::new(Params::default(), net, n_servers, Bandwidth::mbps(100), seed);
+    let mut eng = Engine::new(world);
+    for (t, e) in eng.world().initial_events() {
+        eng.schedule_at(t, e);
+    }
+    eng
+}
+
+fn spec(user: u32, class: NodeClass, upload_kbps: u64, leave_s: u64) -> UserSpec {
+    UserSpec {
+        user: UserId(user),
+        class,
+        upload: Bandwidth::kbps(upload_kbps),
+        leave_at: SimTime::from_secs(leave_s),
+        patience: SimTime::from_secs(60),
+        retries_left: 3,
+        retry_index: 0,
+    }
+}
+
+/// A handful of well-provisioned peers join a server-backed overlay: all
+/// of them must reach media-ready, and the activity log must show the
+/// normal-session event sequence of §V.C.
+#[test]
+fn small_overlay_reaches_media_ready() {
+    let mut eng = build_world(11, 2);
+    for u in 0..8 {
+        let class = if u % 2 == 0 {
+            NodeClass::DirectConnect
+        } else {
+            NodeClass::Nat
+        };
+        eng.schedule_at(
+            SimTime::from_secs(5 + u as u64),
+            Event::Arrive(spec(u, class, 1500, 500)),
+        );
+    }
+    eng.run_until(SimTime::from_secs(300));
+    let world = eng.world();
+
+    let user_sessions: Vec<_> = world
+        .sessions
+        .iter()
+        .filter(|s| s.class.is_user())
+        .collect();
+    assert_eq!(user_sessions.len(), 8);
+    for s in &user_sessions {
+        assert!(
+            s.ready.is_some(),
+            "user {:?} never reached media-ready: {s:?}",
+            s.user
+        );
+        let delay = s.ready_delay().unwrap();
+        assert!(
+            delay >= SimTime::from_secs(5),
+            "media-ready implausibly fast: {delay:?}"
+        );
+        assert!(
+            delay <= SimTime::from_secs(60),
+            "media-ready too slow for a healthy overlay: {delay:?}"
+        );
+        // Event ordering: join ≤ start_sub ≤ ready.
+        assert!(s.start_sub.unwrap() >= s.join);
+        assert!(s.ready.unwrap() >= s.start_sub.unwrap());
+    }
+
+    // The log contains the full normal-session sequence for each user.
+    let (reports, bad) = world.log.parse_all();
+    assert!(bad.is_empty());
+    for u in 0..8u32 {
+        let kinds: Vec<ActivityKind> = reports
+            .iter()
+            .filter_map(|(_, r)| match r {
+                Report::Activity { user, kind, .. } if user.0 == u => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds[0], ActivityKind::Join, "user {u}: {kinds:?}");
+        assert!(kinds.contains(&ActivityKind::StartSubscription));
+        assert!(kinds.contains(&ActivityKind::MediaReady));
+    }
+}
+
+/// Continuity must be high once streaming in an uncongested overlay.
+#[test]
+fn healthy_overlay_has_high_continuity() {
+    let mut eng = build_world(12, 2);
+    for u in 0..10 {
+        eng.schedule_at(
+            SimTime::from_secs(5),
+            Event::Arrive(spec(u, NodeClass::DirectConnect, 2000, 1800)),
+        );
+    }
+    eng.run_until(SimTime::from_secs(900));
+    finalize_sessions(eng.world_mut());
+    let world = eng.world();
+    for s in world.sessions.iter().filter(|s| s.class.is_user()) {
+        let ci = s.continuity().expect("peers played for minutes");
+        assert!(ci > 0.95, "continuity {ci} for {:?}", s.user);
+    }
+    // Status reports exist (run is longer than the 5-minute period).
+    let (reports, _) = world.log.parse_all();
+    assert!(reports.iter().any(|(_, r)| matches!(r, Report::Qos { .. })));
+    assert!(reports
+        .iter()
+        .any(|(_, r)| matches!(r, Report::Traffic { .. })));
+    assert!(reports
+        .iter()
+        .any(|(_, r)| matches!(r, Report::Partner { .. })));
+}
+
+/// Same seed ⇒ byte-identical logs; different seed ⇒ different logs.
+#[test]
+fn runs_are_deterministic_in_the_seed() {
+    let run = |seed: u64| {
+        let mut eng = build_world(seed, 2);
+        for u in 0..12 {
+            let class = match u % 4 {
+                0 => NodeClass::DirectConnect,
+                1 => NodeClass::Upnp,
+                2 => NodeClass::Nat,
+                _ => NodeClass::Firewall,
+            };
+            eng.schedule_at(
+                SimTime::from_secs(3 + (u % 5) as u64),
+                Event::Arrive(spec(u, class, 400 + 100 * u as u64, 400)),
+            );
+        }
+        eng.run_until(SimTime::from_secs(600));
+        eng.world().log.to_text()
+    };
+    let a = run(77);
+    let b = run(77);
+    let c = run(78);
+    assert_eq!(a, b, "same seed must reproduce the log byte-for-byte");
+    assert_ne!(a, c, "different seeds should diverge");
+}
+
+/// Departures detach peers cleanly: nobody keeps a dead parent, and the
+/// departed peer's children recover.
+#[test]
+fn churn_repairs_orphans() {
+    let mut eng = build_world(13, 1);
+    // One strong peer leaves mid-run; others stay.
+    eng.schedule_at(
+        SimTime::from_secs(5),
+        Event::Arrive(spec(0, NodeClass::DirectConnect, 4000, 120)),
+    );
+    for u in 1..8 {
+        eng.schedule_at(
+            SimTime::from_secs(10),
+            Event::Arrive(spec(u, NodeClass::Nat, 300, 900)),
+        );
+    }
+    eng.run_until(SimTime::from_secs(600));
+    let world = eng.world();
+    // The strong peer left on schedule.
+    let s0 = world
+        .sessions
+        .iter()
+        .find(|s| s.user == UserId(0))
+        .unwrap();
+    assert!(s0.leave.is_some());
+    // Every live peer's parents are live.
+    for info in world.net.iter_alive() {
+        if let Some(p) = world.peer(info.id) {
+            for parent in p.parents.iter().flatten() {
+                assert!(
+                    world.net.is_alive(*parent),
+                    "{:?} kept dead parent {:?}",
+                    info.id,
+                    parent
+                );
+            }
+        }
+    }
+    // NAT peers survived the churn and kept streaming.
+    let streaming = world
+        .net
+        .iter_alive()
+        .filter(|n| n.class.is_user())
+        .filter(|n| {
+            world
+                .peer(n.id)
+                .map(|p| p.media_ready.is_some())
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(streaming >= 5, "only {streaming} peers streaming after churn");
+}
+
+/// With zero servers and only NAT peers, joins must fail and retries
+/// appear — the paper's flash-crowd pathology in miniature.
+#[test]
+fn unreachable_overlay_forces_retries() {
+    let mut eng = build_world(14, 0);
+    for u in 0..6 {
+        let mut s = spec(u, NodeClass::Nat, 300, 400);
+        s.patience = SimTime::from_secs(20);
+        eng.schedule_at(SimTime::from_secs(5), Event::Arrive(s));
+    }
+    eng.run_until(SimTime::from_secs(400));
+    let world = eng.world();
+    // Nobody can reach media-ready (nobody has content).
+    assert!(world
+        .sessions
+        .iter()
+        .filter(|s| s.class.is_user())
+        .all(|s| s.ready.is_none()));
+    // Users left impatiently and retried.
+    assert!(world.stats.impatient_departs > 0);
+    assert!(
+        world.sessions.iter().any(|s| s.retry_index > 0),
+        "no retry sessions recorded"
+    );
+}
+
+/// Topology snapshots accumulate and converge towards public parents.
+#[test]
+fn snapshots_show_public_parent_dominance() {
+    let mut eng = build_world(15, 1);
+    for u in 0..20 {
+        let class = if u < 6 {
+            NodeClass::DirectConnect
+        } else {
+            NodeClass::Nat
+        };
+        let kbps = if u < 6 { 3000 } else { 300 };
+        eng.schedule_at(
+            SimTime::from_secs(5 + u as u64 / 4),
+            Event::Arrive(spec(u, class, kbps, 1800)),
+        );
+    }
+    eng.run_until(SimTime::from_secs(1200));
+    let world = eng.world();
+    assert!(world.snapshots.len() >= 15);
+    let last = world.snapshots.last().unwrap();
+    assert!(last.streaming >= 15, "streaming {}", last.streaming);
+    // Public + server parents dominate private ones by the end.
+    assert!(
+        last.edges_from_public + last.edges_from_server > last.edges_from_private,
+        "private parents dominate: {last:?}"
+    );
+    // NAT↔NAT partnership links are rare.
+    assert!(
+        last.natfw_link_share() < 0.25,
+        "random links too common: {}",
+        last.natfw_link_share()
+    );
+}

@@ -1,0 +1,126 @@
+//! Lightweight event tracing.
+//!
+//! A [`Trace`] collects `(time, label)` records with bounded memory; the
+//! engine exposes an optional hook so a world can trace selected events
+//! without wiring a logger through every handler. Intended for debugging
+//! and for tests that assert on event *sequences* rather than end state.
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Free-form label (keep it short and stable; tests match on it).
+    pub label: String,
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    /// Records dropped after the capacity was reached.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// A trace that keeps at most `capacity` records (oldest kept —
+    /// startup sequences are usually what is being debugged).
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, time: SimTime, label: impl Into<String>) {
+        if self.entries.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.entries.push(TraceEntry {
+            time,
+            label: label.into(),
+        });
+    }
+
+    /// All records, in insertion (= time) order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of records retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records whose label starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.label.starts_with(prefix))
+    }
+
+    /// Render as one line per record (`HH:MM:SS label`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{} {}\n", e.time, e.label));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} records dropped (capacity)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), format!("ev{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped, 2);
+        assert_eq!(t.entries()[0].label, "ev0");
+        assert_eq!(t.entries()[2].label, "ev2");
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let mut t = Trace::new(10);
+        t.record(SimTime::ZERO, "join:5");
+        t.record(SimTime::ZERO, "leave:5");
+        t.record(SimTime::ZERO, "join:7");
+        assert_eq!(t.with_prefix("join:").count(), 2);
+        assert_eq!(t.with_prefix("nothing").count(), 0);
+    }
+
+    #[test]
+    fn render_includes_drops() {
+        let mut t = Trace::new(1);
+        t.record(SimTime::from_secs(61), "a");
+        t.record(SimTime::from_secs(62), "b");
+        let r = t.render();
+        assert!(r.contains("00:01:01 a"));
+        assert!(r.contains("1 records dropped"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the event queue and RNG.
+
+use cs_sim::rng::{split_seed, Xoshiro256PlusPlus};
+use cs_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+use rand::RngCore;
+
+proptest! {
+    /// Popping always yields a sequence sorted by time, and FIFO within
+    /// equal timestamps.
+    #[test]
+    fn queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(idx > prev, "FIFO violated at t={t:?}");
+                }
+            } else {
+                last_time = t;
+            }
+            last_seq_at_time = Some(idx);
+        }
+    }
+
+    /// Every pushed element comes back exactly once.
+    #[test]
+    fn queue_conserves_events(times in proptest::collection::vec(0u64..50, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        while let Some((_, idx)) = q.pop() {
+            prop_assert!(!seen[idx], "duplicate pop of {idx}");
+            seen[idx] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Seed splitting is injective over a decent range of inputs.
+    #[test]
+    fn split_seed_no_collisions(master in 0u64..10_000, a in 0u64..64, b in 0u64..64) {
+        if a != b {
+            prop_assert_ne!(split_seed(master, a), split_seed(master, b));
+        }
+    }
+
+    /// fill_bytes agrees with next_u64 word for word.
+    #[test]
+    fn fill_bytes_consistent_with_words(seed in any::<u64>()) {
+        let mut a = Xoshiro256PlusPlus::new(seed);
+        let mut b = Xoshiro256PlusPlus::new(seed);
+        let mut buf = [0u8; 32];
+        a.fill_bytes(&mut buf);
+        for chunk in buf.chunks_exact(8) {
+            prop_assert_eq!(u64::from_le_bytes(chunk.try_into().unwrap()), b.next_u64());
+        }
+    }
+
+    /// SimTime arithmetic: (a + b) - b == a, and subtraction saturates.
+    #[test]
+    fn simtime_add_sub(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let (ta, tb) = (SimTime::from_micros(a), SimTime::from_micros(b));
+        prop_assert_eq!((ta + tb) - tb, ta);
+        if a < b {
+            prop_assert_eq!(ta - tb, SimTime::ZERO);
+        }
+    }
+}

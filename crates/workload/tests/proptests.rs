@@ -1,0 +1,79 @@
+//! Property tests for the workload generator.
+
+use cs_sim::SimTime;
+use cs_workload::{ClassMix, RateProfile, SessionModel, Workload};
+use cs_sim::rng::Xoshiro256PlusPlus;
+use proptest::prelude::*;
+
+proptest! {
+    /// Generated arrivals are sorted, inside the window, with leave times
+    /// strictly after arrival and user ids dense from zero.
+    #[test]
+    fn generation_wellformedness(
+        seed in any::<u64>(),
+        rate in 0.01f64..3.0,
+        start_m in 0u64..120,
+        len_m in 1u64..60,
+    ) {
+        let w = Workload::steady(rate);
+        let start = SimTime::from_mins(start_m);
+        let end = start + SimTime::from_mins(len_m);
+        let arrivals = w.generate(seed, start, end);
+        let mut prev = SimTime::ZERO;
+        for (i, (t, spec)) in arrivals.iter().enumerate() {
+            prop_assert!(*t >= start && *t < end);
+            prop_assert!(*t >= prev);
+            prev = *t;
+            prop_assert!(spec.leave_at > *t);
+            prop_assert_eq!(spec.user.0 as usize, i);
+            prop_assert_eq!(spec.retry_index, 0);
+            prop_assert!(spec.upload.as_bps() >= 8_000);
+        }
+    }
+
+    /// The class mix renormalization preserves validity for any target
+    /// public share.
+    #[test]
+    fn class_mix_rescaling_valid(share in 0.0f64..=1.0) {
+        let m = ClassMix::default().with_public_share(share);
+        prop_assert!(m.validate().is_ok(), "{m:?}");
+        prop_assert!((m.public_share() - share).abs() < 1e-9);
+    }
+
+    /// Rate profiles never report a rate above their own max_rate.
+    #[test]
+    fn profile_max_rate_is_a_bound(base in 0.0f64..10.0, minute in 0u64..2880) {
+        let p = RateProfile::event_day(base);
+        let t = SimTime::from_mins(minute);
+        prop_assert!(p.rate(t) <= p.max_rate() + 1e-12);
+        prop_assert!(p.rate(t) >= 0.0);
+    }
+
+    /// Session-model samples stay in their configured ranges for any
+    /// seed.
+    #[test]
+    fn session_samples_in_range(seed in any::<u64>()) {
+        let m = SessionModel::default();
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        for _ in 0..50 {
+            let w = m.sample_watch(&mut rng).as_secs_f64();
+            prop_assert!((10.0..=6.0 * 3600.0).contains(&w), "watch {w}");
+            let p = m.sample_patience(&mut rng).as_secs_f64();
+            prop_assert!((10.0..=600.0).contains(&p), "patience {p}");
+            let r = m.sample_retries(&mut rng);
+            prop_assert!(r <= m.retry_cap);
+        }
+    }
+
+    /// leave_at never precedes the join time, program alignment or not.
+    #[test]
+    fn leave_after_join(seed in any::<u64>(), join_h in 0.0f64..24.0) {
+        let m = SessionModel::default();
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let join = SimTime::from_secs_f64(join_h * 3600.0);
+        for _ in 0..20 {
+            let leave = m.sample_leave_at(join, &mut rng);
+            prop_assert!(leave > join);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Multi-channel deployment: one audience Zipf-split across several
+//! programs (§V.A: users pick a program at the web portal). Prints the
+//! per-channel population, startup latency and continuity — the
+//! popular-channels-stream-better effect.
+//!
+//! ```sh
+//! cargo run --release --example channels -- [--channels 4] [--rate 2.0]
+//! ```
+
+use coolstreaming::experiments::{fig6_startup, fig9_point, LogView};
+use coolstreaming::{zappers, ChannelScenario, Scenario};
+use cs_sim::SimTime;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let channels: usize = arg("--channels", 4);
+    let rate: f64 = arg("--rate", 2.0);
+    let horizon = SimTime::from_mins(25);
+    let cs = ChannelScenario {
+        base: Scenario::steady(rate)
+            .with_seed(31)
+            .with_window(SimTime::ZERO, horizon),
+        channels,
+        zipf_s: 1.0,
+        switch_prob: 0.15,
+    };
+    println!(
+        "running {channels} channels over one audience ({rate} joins/s aggregate, Zipf 1.0)…\n"
+    );
+    let runs = cs.run();
+
+    println!("  rank   share   mean-pop   continuity   ready-median   ready-frac");
+    for run in &runs {
+        let view = LogView::build(&run.artifacts);
+        let p = fig9_point(&view, SimTime::from_mins(5), horizon);
+        let fig6 = fig6_startup(&view, SimTime::ZERO, SimTime::MAX);
+        println!(
+            "  {:>4}   {:>4.0}%   {:>8.0}   {:>9.2}%   {:>10.1}s   {:>8.1}%",
+            run.rank,
+            100.0 * run.share,
+            p.mean_population,
+            100.0 * p.mean_continuity,
+            fig6.ready.median().unwrap_or(f64::NAN),
+            100.0 * p.ready_fraction,
+        );
+    }
+    let z = zappers(&runs);
+    println!("\n{} viewers zapped between channels mid-session", z.len());
+    println!(
+        "expected shape: the popular channel streams best; the niche channel's\n\
+         smaller swarm has fewer public peers and a thinner server slice, so its\n\
+         startup is slower and its continuity lower — the classic P2P-IPTV\n\
+         unpopular-channel penalty."
+    );
+}

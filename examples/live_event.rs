@@ -1,0 +1,89 @@
+//! Reproduce the 2006-09-27 broadcast day end to end and print every
+//! figure of the paper's evaluation section.
+//!
+//! ```sh
+//! cargo run --release --example live_event -- [--scale 0.02] [--seed N] [--fig 3|4|5|6|7|8|10|all]
+//! ```
+//!
+//! `--scale 1.0` is the real event (~40 k peak concurrent users) — run it
+//! on a big machine; `0.02` (peak ≈ 800) takes about a minute.
+
+use coolstreaming::{experiments, Scenario};
+use cs_sim::SimTime;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale: f64 = arg("--scale", 0.02);
+    let seed: u64 = arg("--seed", 20060927);
+    let fig: String = arg("--fig", "all".to_string());
+
+    println!("simulating the full broadcast day at scale {scale} (seed {seed})…");
+    let artifacts = Scenario::event_day(scale).with_seed(seed).run();
+    let w = &artifacts.world;
+    println!(
+        "done: {} arrivals ({} scheduled + retries), {} events, {} log lines\n",
+        w.stats.arrivals,
+        artifacts.scheduled_arrivals,
+        artifacts.run_stats.events,
+        w.log.len()
+    );
+    let view = experiments::LogView::build(&artifacts);
+    let day_end = SimTime::from_hours(24);
+
+    let want = |f: &str| fig == "all" || fig == f;
+
+    if want("3") || fig == "3a" || fig == "3b" {
+        print!(
+            "{}\n",
+            experiments::fig3_user_types(&artifacts, &view).render()
+        );
+    }
+    if want("4") {
+        print!("{}\n", experiments::fig4_convergence(&artifacts).render());
+    }
+    if want("5") {
+        let curve =
+            experiments::fig5_population(&view, SimTime::ZERO, day_end, SimTime::from_mins(15));
+        print!("{}\n", experiments::render_population(&curve));
+        let evening = experiments::fig5_population(
+            &view,
+            SimTime::from_hours(18),
+            day_end,
+            SimTime::from_mins(5),
+        );
+        println!("FIG5b evening zoom:");
+        print!("{}\n", experiments::render_population(&evening));
+    }
+    if want("6") {
+        // Peak-hours join cohort, as in the paper.
+        let fig6 =
+            experiments::fig6_startup(&view, SimTime::from_hours(18), SimTime::from_hours(22));
+        print!("{}\n", fig6.render());
+    }
+    if want("7") {
+        let periods = experiments::fig7_ready_by_period(&view);
+        print!("{}\n", experiments::render_fig7(&periods));
+    }
+    if want("8") {
+        let fig8 = experiments::fig8_continuity(
+            &view,
+            SimTime::from_hours(18),
+            day_end,
+            SimTime::from_mins(15),
+        );
+        print!("{}\n", fig8.render());
+    }
+    if want("10") {
+        print!("{}\n", experiments::fig10_sessions(&view).render());
+    }
+
+    println!("protocol counters: {:#?}", w.stats);
+}

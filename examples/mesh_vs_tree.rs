@@ -1,0 +1,78 @@
+//! ABL-TREE: the mesh-pull design against single-tree and multi-tree
+//! overlay multicast under identical churn (§II's design-space argument).
+//!
+//! ```sh
+//! cargo run --release --example mesh_vs_tree
+//! ```
+
+use coolstreaming::{experiments, Scenario};
+use cs_baseline::{TreeEvent, TreeParams, TreeWorld};
+use cs_net::{ConnectivityPolicy, LatencyModel, Network};
+use cs_sim::{Engine, SimTime};
+use cs_workload::Workload;
+
+fn main() {
+    let horizon = SimTime::from_mins(30);
+    let rate = 0.6;
+    let seed = 17;
+    let workload = Workload::steady(rate);
+    let arrivals = workload.generate(seed, SimTime::ZERO, horizon);
+    println!(
+        "same audience for all three systems: {} arrivals over {}\n",
+        arrivals.len(),
+        horizon
+    );
+
+    // 1. The mesh (Coolstreaming).
+    let artifacts = Scenario::steady(rate)
+        .with_seed(seed)
+        .with_window(SimTime::ZERO, horizon)
+        .run();
+    let view = experiments::LogView::build(&artifacts);
+    let mesh = experiments::fig9_point(&view, SimTime::ZERO, horizon);
+
+    // 2 & 3. The trees, fed the very same arrival schedule.
+    let run_tree = |params: TreeParams| {
+        let net = Network::new(ConnectivityPolicy::default(), LatencyModel::default(), seed);
+        let world = TreeWorld::new(params, net, seed);
+        let mut eng = Engine::new(world);
+        for (t, e) in eng.world().initial_events() {
+            eng.schedule_at(t, e);
+        }
+        for (t, spec) in &arrivals {
+            eng.schedule_at(*t, TreeEvent::Arrive(*spec));
+        }
+        eng.run_until(horizon);
+        eng.world_mut().finalize();
+        let w = eng.world();
+        (
+            w.mean_continuity(30).unwrap_or(0.0),
+            w.mean_playable(30).unwrap_or(0.0),
+            w.stats.orphanings,
+        )
+    };
+    let (ci_single, play_single, orph_single) = run_tree(TreeParams::single_tree());
+    let (ci_multi, play_multi, orph_multi) = run_tree(TreeParams::multi_tree(6));
+
+    println!("ABL-TREE continuity under identical churn");
+    println!("  system        continuity   playable   orphanings");
+    println!(
+        "  mesh (CS)     {:>9.2}%      (same)            —",
+        100.0 * mesh.mean_continuity
+    );
+    println!(
+        "  single tree   {:>9.2}%   {:>7.2}%   {orph_single:>10}",
+        100.0 * ci_single,
+        100.0 * play_single
+    );
+    println!(
+        "  multi tree    {:>9.2}%   {:>7.2}%   {orph_multi:>10}",
+        100.0 * ci_multi,
+        100.0 * play_multi
+    );
+    println!(
+        "\nexpected shape: mesh ≥ multi-tree > single tree once churn bites —\n\
+         the data-driven design retrieves blocks from any partner, so a\n\
+         departure never silences a subtree (§II, §III.A)."
+    );
+}

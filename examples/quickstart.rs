@@ -1,0 +1,48 @@
+//! Quickstart: run a 20-minute steady-state Coolstreaming overlay and
+//! print what the paper's log pipeline sees.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use coolstreaming::{experiments, Scenario};
+use cs_sim::SimTime;
+
+fn main() {
+    // ~0.5 joins/s → a few hundred concurrent viewers at equilibrium.
+    let scenario = Scenario::steady(0.5)
+        .with_seed(1)
+        .with_window(SimTime::ZERO, SimTime::from_mins(20));
+    println!("running 20 simulated minutes of a steady overlay…");
+    let artifacts = scenario.run();
+
+    let w = &artifacts.world;
+    println!(
+        "done: {} arrivals, {} events, {} log lines, {} blocks delivered\n",
+        w.stats.arrivals,
+        artifacts.run_stats.events,
+        w.log.len(),
+        w.stats.blocks_delivered
+    );
+
+    let view = experiments::LogView::build(&artifacts);
+
+    // Mini Fig. 6: how fast do viewers start watching?
+    let fig6 = experiments::fig6_startup(&view, SimTime::ZERO, SimTime::MAX);
+    print!("{}", fig6.render());
+
+    // Mini Fig. 8: playback quality by user type.
+    let fig8 = experiments::fig8_continuity(
+        &view,
+        SimTime::ZERO,
+        SimTime::from_mins(20),
+        SimTime::from_mins(2),
+    );
+    print!("\n{}", fig8.render());
+
+    // Mini Fig. 3: who contributes the upload bytes?
+    let fig3 = experiments::fig3_user_types(&artifacts, &view);
+    print!("\n{}", fig3.render());
+
+    println!("\nprotocol counters: {:#?}", w.stats);
+}

@@ -1,0 +1,137 @@
+//! Workload-to-world shape tests: the generated audience drives the
+//! population and behaviour patterns the figures depend on.
+
+use coolstreaming::experiments::{fig5_population, LogView};
+use coolstreaming::Scenario;
+use cs_sim::SimTime;
+use cs_workload::{RateProfile, Workload};
+
+#[test]
+fn steady_population_reaches_littles_law_level() {
+    // Little's law: N ≈ λ · E[session length]. Our session model mixes
+    // heavy-tailed watchers and zappers; just require the realized mean
+    // population to be within a factor 2 of the λ·E[duration] estimate.
+    let rate = 0.5;
+    let artifacts = Scenario::steady(rate)
+        .with_seed(21)
+        .with_window(SimTime::ZERO, SimTime::from_mins(40))
+        .run();
+    let view = LogView::build(&artifacts);
+    let curve = fig5_population(
+        &view,
+        SimTime::from_mins(25),
+        SimTime::from_mins(40),
+        SimTime::from_mins(1),
+    );
+    let mean_pop =
+        curve.iter().map(|(_, c)| *c as f64).sum::<f64>() / curve.len() as f64;
+    // E[duration] of the default session model ≈ 20–30 minutes, but the
+    // 40-minute window truncates it; population should be a few hundred.
+    assert!(
+        mean_pop > rate * 300.0 && mean_pop < rate * 2400.0,
+        "mean population {mean_pop} out of plausible band"
+    );
+}
+
+#[test]
+fn flash_crowd_is_visible_in_the_join_series() {
+    let mut wl = Workload::steady(0.3);
+    wl.profile.spikes.push(cs_workload::Spike {
+        start: SimTime::from_mins(10),
+        duration: SimTime::from_mins(3),
+        multiplier: 8.0,
+    });
+    let artifacts = Scenario::steady(0.3)
+        .with_workload(wl)
+        .with_seed(22)
+        .with_window(SimTime::ZERO, SimTime::from_mins(20))
+        .run();
+    let view = LogView::build(&artifacts);
+    let joins_in = |m0: u64, m1: u64| {
+        view.sessions
+            .iter()
+            .filter(|s| {
+                matches!(s.join, Some(j) if j >= SimTime::from_mins(m0) && j < SimTime::from_mins(m1))
+            })
+            .count()
+    };
+    let calm = joins_in(5, 8);
+    let crowd = joins_in(10, 13);
+    assert!(
+        crowd > calm * 4,
+        "flash crowd joins {crowd} not ≫ calm joins {calm}"
+    );
+}
+
+#[test]
+fn program_end_causes_mass_departure() {
+    // Use the event-day workload around the 22:00 program end.
+    let artifacts = Scenario::event_day(0.01)
+        .with_seed(23)
+        .with_window(SimTime::from_hours(20), SimTime::from_hours(23))
+        .run();
+    let view = LogView::build(&artifacts);
+    let leaves_in = |h0: f64, h1: f64| {
+        view.sessions
+            .iter()
+            .filter(|s| {
+                matches!(s.leave, Some(l) if l.hour_of_day() >= h0 && l.hour_of_day() < h1)
+            })
+            .count()
+    };
+    // End-aligned leaves land in a burst right at 22:00; compare
+    // equal-width 3-minute windows just before and just after.
+    let before = leaves_in(21.9, 21.95);
+    let at_end = leaves_in(22.0, 22.05);
+    assert!(
+        at_end > before * 2,
+        "program-end departures {at_end} not ≫ baseline {before}"
+    );
+}
+
+#[test]
+fn rate_profile_integrates_to_realized_arrivals_inside_the_world() {
+    let profile = RateProfile::event_day(1.0);
+    let wl = Workload {
+        profile,
+        ..Workload::steady(0.0)
+    };
+    let expected = wl.expected_arrivals(SimTime::from_hours(18), SimTime::from_hours(21));
+    let arrivals = wl
+        .generate(24, SimTime::from_hours(18), SimTime::from_hours(21))
+        .len() as f64;
+    assert!(
+        (arrivals - expected).abs() < expected * 0.1,
+        "arrivals {arrivals} vs expected {expected}"
+    );
+}
+
+#[test]
+fn retry_sessions_share_user_identity_and_increment_index() {
+    let mut scenario = Scenario::steady(0.5)
+        .with_seed(25)
+        .with_window(SimTime::ZERO, SimTime::from_mins(20))
+        .with_servers(1, cs_net::Bandwidth::mbps(6)); // scarce → failures
+    scenario.params.giveup_ticks = 8;
+    let artifacts = scenario.run();
+    let mut by_user: std::collections::BTreeMap<u32, Vec<&cs_proto::SessionRecord>> =
+        Default::default();
+    for r in artifacts.world.sessions.iter().filter(|r| r.class.is_user()) {
+        by_user.entry(r.user.0).or_default().push(r);
+    }
+    let mut saw_retry = false;
+    for (user, mut recs) in by_user {
+        recs.sort_by_key(|r| r.join);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(
+                r.retry_index as usize, i,
+                "user {user}: retry indices not sequential"
+            );
+            assert_eq!(r.class, recs[0].class, "class changed across retries");
+        }
+        if recs.len() > 1 {
+            saw_retry = true;
+        }
+    }
+    assert!(saw_retry, "no user ever retried in a scarce overlay");
+}
