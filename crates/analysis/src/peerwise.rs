@@ -111,10 +111,16 @@ impl Peerwise {
         if n < 2 * k || k == 0 {
             return None;
         }
-        let head: f64 =
-            self.adaptation_rate_by_age[..k].iter().map(|(_, r)| r).sum::<f64>() / k as f64;
-        let tail: f64 =
-            self.adaptation_rate_by_age[n - k..].iter().map(|(_, r)| r).sum::<f64>() / k as f64;
+        let head: f64 = self.adaptation_rate_by_age[..k]
+            .iter()
+            .map(|(_, r)| r)
+            .sum::<f64>()
+            / k as f64;
+        let tail: f64 = self.adaptation_rate_by_age[n - k..]
+            .iter()
+            .map(|(_, r)| r)
+            .sum::<f64>()
+            / k as f64;
         Some(tail < head)
     }
 }

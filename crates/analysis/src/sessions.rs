@@ -78,7 +78,10 @@ impl LogSession {
     /// A *normal session* in the paper's sense: the full
     /// join → start-subscription → media-ready → leave sequence.
     pub fn is_normal(&self) -> bool {
-        self.join.is_some() && self.start_sub.is_some() && self.ready.is_some() && self.leave.is_some()
+        self.join.is_some()
+            && self.start_sub.is_some()
+            && self.ready.is_some()
+            && self.leave.is_some()
     }
 
     /// §V.B user-type inference from local address + partner directions.

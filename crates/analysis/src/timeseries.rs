@@ -16,7 +16,10 @@ impl TimeBins {
     /// Bins of `width` covering `[start, end)`.
     pub fn new(start: SimTime, end: SimTime, width: SimTime) -> Self {
         assert!(end > start && width > SimTime::ZERO);
-        let n = (end.saturating_sub(start).as_micros().div_ceil(width.as_micros())) as usize;
+        let n = (end
+            .saturating_sub(start)
+            .as_micros()
+            .div_ceil(width.as_micros())) as usize;
         TimeBins {
             start,
             width,
@@ -60,7 +63,8 @@ impl TimeBins {
     pub fn means(&self) -> Vec<(SimTime, f64)> {
         self.rows()
             .into_iter()
-            .filter_map(|(t, sum, n)| (n > 0).then(|| (t, sum / n as f64)))
+            .filter(|&(_, _, n)| n > 0)
+            .map(|(t, sum, n)| (t, sum / n as f64))
             .collect()
     }
 
@@ -93,7 +97,10 @@ pub fn concurrency_curve(
     width: SimTime,
 ) -> Vec<(SimTime, i64)> {
     assert!(end > start && width > SimTime::ZERO);
-    let n = (end.saturating_sub(start).as_micros().div_ceil(width.as_micros())) as usize;
+    let n = (end
+        .saturating_sub(start)
+        .as_micros()
+        .div_ceil(width.as_micros())) as usize;
     // Difference array over bin edges.
     let mut diff = vec![0i64; n + 1];
     let bin_of = |t: SimTime| -> usize {
@@ -130,7 +137,11 @@ mod tests {
 
     #[test]
     fn binning_means() {
-        let mut b = TimeBins::new(SimTime::ZERO, SimTime::from_secs(100), SimTime::from_secs(10));
+        let mut b = TimeBins::new(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            SimTime::from_secs(10),
+        );
         assert_eq!(b.len(), 10);
         b.add(SimTime::from_secs(5), 1.0);
         b.add(SimTime::from_secs(7), 3.0);
@@ -155,7 +166,11 @@ mod tests {
 
     #[test]
     fn event_counts_track_all_bins() {
-        let mut b = TimeBins::new(SimTime::ZERO, SimTime::from_secs(30), SimTime::from_secs(10));
+        let mut b = TimeBins::new(
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            SimTime::from_secs(10),
+        );
         b.add_count(SimTime::from_secs(1));
         b.add_count(SimTime::from_secs(2));
         b.add_count(SimTime::from_secs(25));

@@ -595,7 +595,10 @@ impl World for TreeWorld {
                             );
                         }
                         AttachOutcome::Failed => {
-                            ctx.schedule_in(self.params.rejoin_delay, TreeEvent::Rejoin(id, stripe));
+                            ctx.schedule_in(
+                                self.params.rejoin_delay,
+                                TreeEvent::Rejoin(id, stripe),
+                            );
                         }
                     }
                 }

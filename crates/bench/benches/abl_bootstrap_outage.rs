@@ -16,8 +16,13 @@ fn run_with_outage(outage: bool) -> coolstreaming::RunArtifacts {
         .with_window(SimTime::ZERO, SimTime::from_mins(30));
     // Rebuild the run manually so we can inject the outage events.
     let net = cs_net::Network::new(scenario.policy, scenario.latency, scenario.seed);
-    let mut world =
-        cs_proto::CsWorld::new(scenario.params, net, scenario.servers, scenario.server_bw, scenario.seed);
+    let mut world = cs_proto::CsWorld::new(
+        scenario.params,
+        net,
+        scenario.servers,
+        scenario.server_bw,
+        scenario.seed,
+    );
     world.snapshot_interval = scenario.snapshot_interval;
     let arrivals = scenario
         .workload
@@ -69,7 +74,10 @@ fn main() {
         (hit_ready as f64) < 0.35 * base_ready as f64,
         "outage chokes new joins ({hit_ready} vs {base_ready})"
     );
-    shape_check!(hit.world.stats.bootstrap_rejects > 50, "rejects were counted");
+    shape_check!(
+        hit.world.stats.bootstrap_rejects > 50,
+        "rejects were counted"
+    );
 
     // Established peers keep streaming: continuity during the outage
     // stays within a point of baseline.
@@ -88,7 +96,11 @@ fn main() {
             / 4.0
     };
     let (ci_base, ci_hit) = (ci_during(&base), ci_during(&hit));
-    println!("  continuity during window: baseline {:.2}% vs outage {:.2}%", 100.0 * ci_base, 100.0 * ci_hit);
+    println!(
+        "  continuity during window: baseline {:.2}% vs outage {:.2}%",
+        100.0 * ci_base,
+        100.0 * ci_hit
+    );
     shape_check!(
         ci_hit > ci_base - 0.02,
         "established peers unaffected ({:.2}% vs {:.2}%)",

@@ -10,7 +10,12 @@ use cs_net::{ConnectivityPolicy, LatencyModel, Network};
 use cs_sim::{Engine, SimTime};
 use cs_workload::Workload;
 
-fn run_tree(params: TreeParams, arrivals: &[(SimTime, cs_proto::UserSpec)], horizon: SimTime, seed: u64) -> (f64, f64) {
+fn run_tree(
+    params: TreeParams,
+    arrivals: &[(SimTime, cs_proto::UserSpec)],
+    horizon: SimTime,
+    seed: u64,
+) -> (f64, f64) {
     let net = Network::new(ConnectivityPolicy::default(), LatencyModel::default(), seed);
     let world = TreeWorld::new(params, net, seed);
     let mut eng = Engine::new(world);
@@ -89,7 +94,14 @@ fn main() {
         .cloned()
         .collect();
     c.bench_function("abl_tree/single_tree_5min", |b| {
-        b.iter(|| black_box(run_tree(TreeParams::single_tree(), &short, SimTime::from_mins(5), 3)))
+        b.iter(|| {
+            black_box(run_tree(
+                TreeParams::single_tree(),
+                &short,
+                SimTime::from_mins(5),
+                3,
+            ))
+        })
     });
     c.final_summary();
 }

@@ -78,8 +78,13 @@ fn main() {
     let during = mean_ci(&hit, 15, 20);
     let after = mean_ci(&hit, 22, 30);
     let base_during = mean_ci(&base, 15, 20);
-    println!("  continuity: before {:.2}%  crash-window {:.2}%  after {:.2}%  (baseline {:.2}%)",
-        100.0 * before, 100.0 * during, 100.0 * after, 100.0 * base_during);
+    println!(
+        "  continuity: before {:.2}%  crash-window {:.2}%  after {:.2}%  (baseline {:.2}%)",
+        100.0 * before,
+        100.0 * during,
+        100.0 * after,
+        100.0 * base_during
+    );
 
     shape_check!(
         during > 0.85,

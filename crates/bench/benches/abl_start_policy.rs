@@ -65,8 +65,7 @@ fn main() {
         );
         results.push((p.mean_continuity, live_lag, skipped));
     }
-    let (shifted, latest, _midpoint, oldest) =
-        (&results[0], &results[1], &results[2], &results[3]);
+    let (shifted, latest, _midpoint, oldest) = (&results[0], &results[1], &results[2], &results[3]);
 
     shape_check!(
         shifted.0 >= latest.0 - 0.005,

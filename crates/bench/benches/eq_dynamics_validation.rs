@@ -108,8 +108,8 @@ fn main() {
         let measured = time_until(&mut eng, 2, SimTime::from_secs(300), |lag| lag <= slack)
             .expect("child catches up")
             .0;
-        let predicted = cs_model::catch_up_time(params.tp_blocks as f64, rate * mult, rate)
-            .expect("r↑ > R/K");
+        let predicted =
+            cs_model::catch_up_time(params.tp_blocks as f64, rate * mult, rate).expect("r↑ > R/K");
         println!("    r↑ = {mult:.0}×R/K: measured {measured:.1}s vs Eq.3 {predicted:.1}s");
         shape_check!(
             (measured - predicted).abs() <= predicted * 0.5 + 3.0,
@@ -129,7 +129,9 @@ fn main() {
     .expect("child starves")
     .0;
     let predicted = cs_model::starvation_time(l as f64, rate * 0.5, rate).expect("r↓ < R/K");
-    println!("  Eq.4 starvation: measured {measured:.1}s to fall {l} more blocks vs {predicted:.1}s");
+    println!(
+        "  Eq.4 starvation: measured {measured:.1}s to fall {l} more blocks vs {predicted:.1}s"
+    );
     shape_check!(
         (measured - predicted).abs() <= predicted * 0.5 + 4.0,
         "starvation time within tolerance of Eq.4"
@@ -169,7 +171,10 @@ fn main() {
     for dd in [1u32, 2, 4, 8] {
         let p = cs_model::p_lose_within(dd, 96.0, 10.0, 1.6);
         println!("    D_p={dd}: P(lose within T_a) = {p:.3}");
-        shape_check!(p <= prev, "P(lose) falls with parent degree (clogging force)");
+        shape_check!(
+            p <= prev,
+            "P(lose) falls with parent degree (clogging force)"
+        );
         prev = p;
     }
 

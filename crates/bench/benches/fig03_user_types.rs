@@ -18,7 +18,8 @@ fn main() {
     print!("{}", fig3.render());
 
     let truth_total: usize = fig3.truth.values().sum();
-    let truth_public = fig3.truth.get("direct").unwrap_or(&0) + fig3.truth.get("upnp").unwrap_or(&0);
+    let truth_public =
+        fig3.truth.get("direct").unwrap_or(&0) + fig3.truth.get("upnp").unwrap_or(&0);
     let truth_public_share = truth_public as f64 / truth_total.max(1) as f64;
     shape_check!(
         (truth_public_share - 0.30).abs() < 0.05,
@@ -44,7 +45,11 @@ fn main() {
         "public classes contribute {:.1}% of upload",
         100.0 * fig3.public_upload_share
     );
-    shape_check!(fig3.gini > 0.6, "upload gini {:.2} heavily skewed", fig3.gini);
+    shape_check!(
+        fig3.gini > 0.6,
+        "upload gini {:.2} heavily skewed",
+        fig3.gini
+    );
 
     // Timed kernel: the classification + Lorenz analytics.
     let mut c: Criterion = criterion_quick();

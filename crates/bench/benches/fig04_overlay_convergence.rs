@@ -33,7 +33,10 @@ fn main() {
         .last()
         .map(|&(_, _, _, d)| d > 1.0 && d < 10.0)
         .unwrap_or(false);
-    shape_check!(depth_ok, "overlay depth is shallow (tree-like with random links)");
+    shape_check!(
+        depth_ok,
+        "overlay depth is shallow (tree-like with random links)"
+    );
 
     // Model comparison: the two-state chain's stationary share should land
     // in the same regime as the simulated overlay.

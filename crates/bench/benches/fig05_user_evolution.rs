@@ -13,7 +13,12 @@ fn main() {
     );
     let artifacts = event_day_artifacts(0.01, 505);
     let view = LogView::build(&artifacts);
-    let day = fig5_population(&view, SimTime::ZERO, SimTime::from_hours(24), SimTime::from_mins(15));
+    let day = fig5_population(
+        &view,
+        SimTime::ZERO,
+        SimTime::from_hours(24),
+        SimTime::from_mins(15),
+    );
     print!("{}", render_population(&day));
     let evening = fig5_population(
         &view,
@@ -27,7 +32,11 @@ fn main() {
     let pop_at = |h: f64| -> i64 {
         let t = SimTime::from_secs_f64(h * 3600.0);
         day.iter()
-            .min_by_key(|(bt, _)| bt.saturating_sub(t).as_micros().max(t.saturating_sub(*bt).as_micros()))
+            .min_by_key(|(bt, _)| {
+                bt.saturating_sub(t)
+                    .as_micros()
+                    .max(t.saturating_sub(*bt).as_micros())
+            })
             .map(|(_, c)| *c)
             .unwrap_or(0)
     };
@@ -40,7 +49,10 @@ fn main() {
         .unwrap();
     let after_end = pop_at(22.6);
 
-    shape_check!(night < noon && noon < peak, "diurnal ordering night {night} < noon {noon} < peak {peak}");
+    shape_check!(
+        night < noon && noon < peak,
+        "diurnal ordering night {night} < noon {noon} < peak {peak}"
+    );
     let peak_hour = peak_t.hour_of_day();
     shape_check!(
         (18.0..22.5).contains(&peak_hour),
@@ -50,7 +62,10 @@ fn main() {
         (after_end as f64) < 0.6 * peak as f64,
         "22:00 program-end cliff: {after_end} after vs {peak} peak"
     );
-    shape_check!(peak >= 100, "peak population {peak} large enough to be meaningful");
+    shape_check!(
+        peak >= 100,
+        "peak population {peak} large enough to be meaningful"
+    );
 
     let intervals: Vec<(SimTime, Option<SimTime>)> = view
         .sessions

@@ -37,7 +37,10 @@ fn main() {
     );
     // Heavy tail: p99 well beyond the median.
     let tail = fig6.ready.tail_ratio().unwrap();
-    shape_check!(tail > 1.8, "media-ready tail ratio {tail:.1} (heavy-tailed)");
+    shape_check!(
+        tail > 1.8,
+        "media-ready tail ratio {tail:.1} (heavy-tailed)"
+    );
     // Ordering: ready dominates start-sub everywhere.
     shape_check!(
         ready_median > ss_median,

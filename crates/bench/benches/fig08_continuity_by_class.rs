@@ -65,7 +65,11 @@ fn main() {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let (t, l) = (mean(&nat_true), mean(&nat_logged));
-    println!("  NAT ground-truth CI {:.2}% vs log-reported {:.2}%", 100.0 * t, 100.0 * l);
+    println!(
+        "  NAT ground-truth CI {:.2}% vs log-reported {:.2}%",
+        100.0 * t,
+        100.0 * l
+    );
     shape_check!(
         t <= l + 0.005,
         "ground-truth NAT continuity ≤ reported (reporting censors the bad tail)"

@@ -58,7 +58,10 @@ fn main() {
                 100.0 * ci
             );
         } else {
-            println!("  (info) rate {rate}: CI {:.2}% — below the paper's size regime", 100.0 * ci);
+            println!(
+                "  (info) rate {rate}: CI {:.2}% — below the paper's size regime",
+                100.0 * ci
+            );
         }
     }
     let spread = main_cis.iter().cloned().fold(f64::MIN, f64::max)

@@ -25,7 +25,7 @@ use args::Args;
 use coolstreaming::experiments::{
     fig10_sessions, fig6_startup, fig7_ready_by_period, render_fig7, LogView,
 };
-use coolstreaming::Scenario;
+use coolstreaming::{RunOptions, Scenario};
 use cs_logging::LogServer;
 use cs_sim::SimTime;
 
@@ -59,13 +59,36 @@ fn build_scenario(args: &Args) -> Result<Scenario, String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let scenario = build_scenario(args)?;
     let quiet = args.has("quiet");
+    let options = RunOptions {
+        check_invariants: args.has("check-invariants"),
+        invariant_stride: args.get("invariant-stride", 1),
+        trace_hash: args.has("trace-hash"),
+    };
     if !quiet {
         eprintln!(
             "running {} → {} (seed {})…",
             scenario.start, scenario.horizon, scenario.seed
         );
     }
-    let artifacts = scenario.run();
+    let observed = scenario.run_observed(options);
+    if let Some(hash) = observed.trace_hash {
+        println!("trace-hash {hash:016x}");
+    }
+    let mut violations = 0;
+    if let Some(chk) = &observed.invariants {
+        violations = chk.total_violations();
+        if !quiet || violations > 0 {
+            eprintln!(
+                "invariants: {} checks over {} events, {violations} violations",
+                chk.checks_run(),
+                chk.events_seen(),
+            );
+        }
+        if violations > 0 {
+            eprint!("{}", chk.report());
+        }
+    }
+    let artifacts = observed.artifacts;
     let view = LogView::build(&artifacts);
     let out: PathBuf = args.get_str("out").unwrap_or("out").into();
     output::write_outputs(&out, &artifacts, &view, scenario.horizon)
@@ -80,6 +103,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             s.ready_median_s,
             out.display()
         );
+    }
+    if violations > 0 {
+        return Err(format!("{violations} invariant violations detected"));
     }
     Ok(())
 }
@@ -96,10 +122,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         eprintln!("warning: {} malformed log lines skipped", bad.len());
     }
     let sessions = cs_analysis::reconstruct(&reports);
-    let view = LogView {
-        reports,
-        sessions,
-    };
+    let view = LogView { reports, sessions };
     println!(
         "{} log lines, {} sessions\n",
         server.len(),
@@ -137,9 +160,16 @@ USAGE:
   coolstream run      [--preset event_day|steady] [--scale F] [--rate F]
                       [--minutes N] [--seed N] [--start-h F] [--end-h F]
                       [--config scenario.json] [--out DIR] [--quiet]
+                      [--check-invariants] [--invariant-stride N]
+                      [--trace-hash]
   coolstream analyze  --log FILE [--out DIR]
   coolstream config   [--preset ...]          # print a scenario JSON
   coolstream help
+
+  --check-invariants   validate protocol invariants after every event
+                       (exit non-zero on any violation)
+  --invariant-stride N full-state validation every N-th event (default 1)
+  --trace-hash         print the run's deterministic trace hash
 ";
 
 fn main() -> ExitCode {
@@ -183,8 +213,7 @@ mod tests {
 
     #[test]
     fn window_flags_override() {
-        let s =
-            build_scenario(&parse("run --preset event_day --start-h 18 --end-h 19.5")).unwrap();
+        let s = build_scenario(&parse("run --preset event_day --start-h 18 --end-h 19.5")).unwrap();
         assert_eq!(s.start, SimTime::from_hours(18));
         assert_eq!(s.horizon, SimTime::from_secs(19 * 3600 + 1800));
         assert!(build_scenario(&parse("run --start-h 5 --end-h 4")).is_err());

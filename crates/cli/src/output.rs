@@ -80,7 +80,11 @@ pub fn figures_text(artifacts: &RunArtifacts, view: &LogView, horizon: SimTime) 
     let _ = writeln!(out, "{}", experiments::fig4_convergence(artifacts).render());
     let pop = fig5_population(view, SimTime::ZERO, horizon, horizon / 96);
     let _ = writeln!(out, "{}", experiments::render_population(&pop));
-    let _ = writeln!(out, "{}", fig6_startup(view, SimTime::ZERO, SimTime::MAX).render());
+    let _ = writeln!(
+        out,
+        "{}",
+        fig6_startup(view, SimTime::ZERO, SimTime::MAX).render()
+    );
     let _ = writeln!(
         out,
         "{}",
@@ -93,7 +97,11 @@ pub fn figures_text(artifacts: &RunArtifacts, view: &LogView, horizon: SimTime) 
     );
     let _ = writeln!(out, "{}", fig10_sessions(view).render());
     let _ = writeln!(out, "{}", experiments::overhead(artifacts).render());
-    let _ = writeln!(out, "{}", experiments::resources(artifacts, horizon).render());
+    let _ = writeln!(
+        out,
+        "{}",
+        experiments::resources(artifacts, horizon).render()
+    );
     out
 }
 
@@ -115,7 +123,9 @@ pub fn sessions_csv(view: &LogView) -> String {
             fmt_t(s.ready),
             fmt_t(s.leave),
             fmt_t(s.duration()),
-            s.continuity().map(|c| format!("{c:.5}")).unwrap_or_default(),
+            s.continuity()
+                .map(|c| format!("{c:.5}"))
+                .unwrap_or_default(),
             s.up_bytes,
             s.down_bytes,
             s.max_incoming,
@@ -141,7 +151,10 @@ pub fn write_outputs(
         dir.join("summary.json"),
         serde_json::to_string_pretty(&summary).expect("serializable"),
     )?;
-    fs::write(dir.join("figures.txt"), figures_text(artifacts, view, horizon))?;
+    fs::write(
+        dir.join("figures.txt"),
+        figures_text(artifacts, view, horizon),
+    )?;
     fs::write(dir.join("sessions.csv"), sessions_csv(view))?;
     Ok(())
 }
@@ -183,7 +196,14 @@ mod tests {
         let (artifacts, view) = tiny();
         let text = figures_text(&artifacts, &view, SimTime::from_mins(8));
         for marker in [
-            "FIG3a", "FIG4", "FIG5", "FIG6", "FIG7", "FIG8", "FIG10a", "EXT-OVERHEAD",
+            "FIG3a",
+            "FIG4",
+            "FIG5",
+            "FIG6",
+            "FIG7",
+            "FIG8",
+            "FIG10a",
+            "EXT-OVERHEAD",
             "EXT-RESOURCES",
         ] {
             assert!(text.contains(marker), "missing {marker}");

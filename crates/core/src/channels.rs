@@ -123,9 +123,8 @@ impl ChannelScenario {
             .map(|(rank, arrivals)| {
                 let share = shares[rank];
                 let servers = ((self.base.servers as f64 * share).round() as usize).max(1);
-                let bw = Bandwidth(
-                    ((total_server_bw as f64 * share) / servers as f64).round() as u64,
-                );
+                let bw =
+                    Bandwidth(((total_server_bw as f64 * share) / servers as f64).round() as u64);
                 let mut scenario = self.base.clone();
                 scenario.servers = servers;
                 scenario.server_bw = bw;
@@ -243,7 +242,10 @@ mod tests {
         let runs = cs.run();
         assert_eq!(runs.len(), 3);
         // Populations ordered by popularity.
-        let pops: Vec<u64> = runs.iter().map(|r| r.artifacts.world.stats.arrivals).collect();
+        let pops: Vec<u64> = runs
+            .iter()
+            .map(|r| r.artifacts.world.stats.arrivals)
+            .collect();
         assert!(pops[0] > pops[2], "popularity ordering lost: {pops:?}");
         // Zappers exist and appear in two channels.
         let z = zappers(&runs);

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use cs_analysis::{concurrency_curve, reconstruct, retries_per_user, Cdf, Lorenz, LogSession};
+use cs_analysis::{concurrency_curve, reconstruct, retries_per_user, Cdf, LogSession, Lorenz};
 use cs_logging::Report;
 use cs_net::NodeClass;
 use cs_sim::SimTime;
@@ -190,8 +190,9 @@ impl Fig4 {
 
     /// Table renderer.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("FIG4 overlay convergence (time, public-parent share, natfw links, depth)\n");
+        let mut out = String::from(
+            "FIG4 overlay convergence (time, public-parent share, natfw links, depth)\n",
+        );
         let step = (self.series.len() / 12).max(1);
         for (t, pub_share, natfw, depth) in self.series.iter().step_by(step) {
             let _ = writeln!(
@@ -208,7 +209,12 @@ impl Fig4 {
 // ---------------------------------------------------------------- FIG5 --
 
 /// Fig. 5: concurrent users over time, from logged join/leave events.
-pub fn fig5_population(view: &LogView, start: SimTime, end: SimTime, bin: SimTime) -> Vec<(SimTime, i64)> {
+pub fn fig5_population(
+    view: &LogView,
+    start: SimTime,
+    end: SimTime,
+    bin: SimTime,
+) -> Vec<(SimTime, i64)> {
     let intervals: Vec<(SimTime, Option<SimTime>)> = view
         .sessions
         .iter()
@@ -395,7 +401,12 @@ impl Fig8 {
                 continue;
             }
             let mean = series.iter().map(|(_, ci)| ci).sum::<f64>() / series.len() as f64;
-            let _ = writeln!(out, "  {class:<9} {:>6.2}%  ({} bins)", 100.0 * mean, series.len());
+            let _ = writeln!(
+                out,
+                "  {class:<9} {:>6.2}%  ({} bins)",
+                100.0 * mean,
+                series.len()
+            );
         }
         out
     }
@@ -584,9 +595,8 @@ impl ResourceReport {
 
     /// Table renderer.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "EXT-RESOURCES class: capacity-utilization (uploaded / uplink·time)\n",
-        );
+        let mut out =
+            String::from("EXT-RESOURCES class: capacity-utilization (uploaded / uplink·time)\n");
         for (class, &(secs, cap, up)) in &self.by_class {
             let util = if cap > 0.0 { up / cap } else { 0.0 };
             let _ = writeln!(

@@ -38,7 +38,7 @@ pub mod experiments;
 mod scenario;
 
 pub use channels::{zappers, ChannelRun, ChannelScenario};
-pub use scenario::{run_all, RunArtifacts, Scenario};
+pub use scenario::{run_all, ObservedRun, RunArtifacts, RunOptions, Scenario};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use cs_analysis as analysis;

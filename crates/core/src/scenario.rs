@@ -11,9 +11,12 @@
 //! assert!(artifacts.world.stats.arrivals > 0);
 //! ```
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use cs_net::{Bandwidth, ConnectivityPolicy, LatencyModel, Network};
-use cs_proto::{finalize_sessions, CsWorld, Event, Params};
-use cs_sim::{Engine, RunStats, SimTime};
+use cs_proto::{finalize_sessions, CsWorld, Event, InvariantChecker, Params};
+use cs_sim::{Engine, MultiObserver, RunStats, SimTime, TraceHasher};
 use cs_workload::Workload;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -61,8 +64,7 @@ impl Scenario {
         let servers = (FULL_SCALE_SERVERS * scale).ceil().max(1.0);
         // Preserve aggregate server bandwidth: `servers × bw` equals the
         // scaled 24 × 100 Mbps.
-        let server_bw =
-            Bandwidth((FULL_SCALE_SERVERS * scale * 100e6 / servers).round() as u64);
+        let server_bw = Bandwidth((FULL_SCALE_SERVERS * scale * 100e6 / servers).round() as u64);
         Scenario {
             params: Params::default(),
             workload: Workload::event_day(FULL_SCALE_PEAK_RATE * scale),
@@ -135,10 +137,26 @@ impl Scenario {
     /// Execute with an explicit arrival schedule instead of generating
     /// one from the workload — the entry point for multi-channel runs
     /// and replay tooling.
-    pub fn run_with_arrivals(
+    pub fn run_with_arrivals(&self, arrivals: Vec<(SimTime, cs_proto::UserSpec)>) -> RunArtifacts {
+        self.run_with_arrivals_observed(arrivals, RunOptions::default())
+            .artifacts
+    }
+
+    /// Execute under instrumentation: optionally validate protocol
+    /// invariants after every event and/or fold the dispatch sequence
+    /// into a trace hash. Observers are passive, so the artifacts are
+    /// bit-identical to an unobserved run of the same scenario and seed.
+    pub fn run_observed(&self, options: RunOptions) -> ObservedRun {
+        let arrivals = self.workload.generate(self.seed, self.start, self.horizon);
+        self.run_with_arrivals_observed(arrivals, options)
+    }
+
+    /// [`Scenario::run_with_arrivals`] with instrumentation options.
+    pub fn run_with_arrivals_observed(
         &self,
         arrivals: Vec<(SimTime, cs_proto::UserSpec)>,
-    ) -> RunArtifacts {
+        options: RunOptions,
+    ) -> ObservedRun {
         let net = Network::new(self.policy, self.latency, self.seed);
         let mut world = CsWorld::new(self.params, net, self.servers, self.server_bw, self.seed);
         world.snapshot_interval = self.snapshot_interval;
@@ -147,6 +165,28 @@ impl Scenario {
         let mut engine = Engine::new(world);
         // Guard against protocol bugs that self-schedule forever.
         engine.event_budget = 4_000_000_000;
+
+        let checker = options.check_invariants.then(|| {
+            Rc::new(RefCell::new(InvariantChecker::with_stride(
+                options.invariant_stride,
+            )))
+        });
+        let hasher = options.trace_hash.then(|| {
+            Rc::new(RefCell::new(TraceHasher::new(
+                Event::kind as fn(&Event) -> _,
+            )))
+        });
+        if checker.is_some() || hasher.is_some() {
+            let mut multi = MultiObserver::new();
+            if let Some(c) = &checker {
+                multi.push(Box::new(Rc::clone(c)));
+            }
+            if let Some(h) = &hasher {
+                multi.push(Box::new(Rc::clone(h)));
+            }
+            engine.set_observer(Box::new(multi));
+        }
+
         for (t, e) in engine.world().initial_events() {
             engine.schedule_at(t.max(self.start), e);
         }
@@ -154,14 +194,54 @@ impl Scenario {
             engine.schedule_at(t, Event::Arrive(spec));
         }
         let run_stats = engine.run_until(self.horizon);
+        let end = engine.now();
+        engine.take_observer(); // drop the engine's clones of the handles
         let mut world = engine.into_world();
+        // Validate the horizon state too: runs ending between events
+        // (or with a stride) would otherwise leave the tail unchecked.
+        if let Some(c) = &checker {
+            c.borrow_mut().check_world(end, &world);
+        }
         finalize_sessions(&mut world);
-        RunArtifacts {
-            world,
-            scheduled_arrivals: n_arrivals,
-            run_stats,
+        ObservedRun {
+            artifacts: RunArtifacts {
+                world,
+                scheduled_arrivals: n_arrivals,
+                run_stats,
+            },
+            trace_hash: hasher.map(|h| h.borrow().hash()),
+            invariants: checker.map(|c| {
+                Rc::try_unwrap(c)
+                    .unwrap_or_else(|_| panic!("engine handle dropped"))
+                    .into_inner()
+            }),
         }
     }
+}
+
+/// Instrumentation options for [`Scenario::run_observed`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Attach an [`InvariantChecker`] and validate the protocol state
+    /// during the run.
+    pub check_invariants: bool,
+    /// Validate after every `invariant_stride`-th event (0 and 1 both
+    /// mean every event). Full-state validation is `O(peers)`, so large
+    /// runs may want a stride.
+    pub invariant_stride: u64,
+    /// Attach a [`TraceHasher`] and report the run's trace hash.
+    pub trace_hash: bool,
+}
+
+/// The output of an instrumented run.
+pub struct ObservedRun {
+    /// The regular run output (identical to an unobserved run).
+    pub artifacts: RunArtifacts,
+    /// FNV-1a digest of the `(time, event kind)` dispatch sequence, if
+    /// requested.
+    pub trace_hash: Option<u64>,
+    /// The invariant checker with its verdict, if requested.
+    pub invariants: Option<InvariantChecker>,
 }
 
 /// The output of one run.

@@ -51,7 +51,7 @@ fn unescape(s: &str) -> Result<String, CodecError> {
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] == b'%' {
-            if i + 2 >= bytes.len() + 1 {
+            if i + 2 > bytes.len() {
                 return Err(CodecError::BadEscape(s.to_string()));
             }
             let hex = s
@@ -181,7 +181,10 @@ mod tests {
             Pairs::decode("k=%G1"),
             Err(CodecError::BadEscape(_))
         ));
-        assert!(matches!(Pairs::decode("k=%2"), Err(CodecError::BadEscape(_))));
+        assert!(matches!(
+            Pairs::decode("k=%2"),
+            Err(CodecError::BadEscape(_))
+        ));
     }
 
     #[test]

@@ -15,6 +15,11 @@ use cs_sim::SimTime;
 
 use crate::report::{Report, ReportError};
 
+/// Successfully parsed reports, each with its log timestamp.
+pub type ParsedReports = Vec<(SimTime, Report)>;
+/// Log-line indexes that failed to parse, with the parse error.
+pub type ParseFailures = Vec<(usize, ReportError)>;
+
 /// One line of the log file.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LogEntry {
@@ -66,7 +71,7 @@ impl LogServer {
 
     /// Parse every line; malformed lines are returned as errors alongside
     /// their index rather than aborting the whole pass.
-    pub fn parse_all(&self) -> (Vec<(SimTime, Report)>, Vec<(usize, ReportError)>) {
+    pub fn parse_all(&self) -> (ParsedReports, ParseFailures) {
         let mut ok = Vec::with_capacity(self.entries.len());
         let mut bad = Vec::new();
         for (i, e) in self.entries.iter().enumerate() {

@@ -16,14 +16,18 @@ fn arb_activity_kind() -> impl Strategy<Value = ActivityKind> {
 
 fn arb_report() -> impl Strategy<Value = Report> {
     prop_oneof![
-        (any::<u32>(), any::<u32>(), arb_activity_kind(), any::<bool>()).prop_map(
-            |(u, n, kind, private_addr)| Report::Activity {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            arb_activity_kind(),
+            any::<bool>()
+        )
+            .prop_map(|(u, n, kind, private_addr)| Report::Activity {
                 user: UserId(u),
                 node: n,
                 kind,
                 private_addr,
-            }
-        ),
+            }),
         (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(u, n, due, m)| {
             Report::Qos {
                 user: UserId(u),

@@ -56,7 +56,13 @@ pub fn p_lose_within(d_p: u32, ts: f64, ta: f64, substream_rate: f64) -> f64 {
 /// Empirical counterpart of [`p_lose_within`]: fraction of slack samples
 /// that lose within `T_a`. Used to validate the simulator against the
 /// model without the uniform-slack assumption.
-pub fn p_lose_within_empirical(d_p: u32, ts: f64, ta: f64, substream_rate: f64, slacks: &[f64]) -> f64 {
+pub fn p_lose_within_empirical(
+    d_p: u32,
+    ts: f64,
+    ta: f64,
+    substream_rate: f64,
+    slacks: &[f64],
+) -> f64 {
     if slacks.is_empty() {
         return 0.0;
     }

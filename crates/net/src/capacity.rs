@@ -193,7 +193,10 @@ mod tests {
         let m = CapacityModel::default();
         let mut rng = Xoshiro256PlusPlus::new(4);
         let avg = |class: NodeClass, rng: &mut Xoshiro256PlusPlus| -> f64 {
-            (0..5000).map(|_| m.sample(class, rng).as_bps() as f64).sum::<f64>() / 5000.0
+            (0..5000)
+                .map(|_| m.sample(class, rng).as_bps() as f64)
+                .sum::<f64>()
+                / 5000.0
         };
         let direct = avg(NodeClass::DirectConnect, &mut rng);
         let nat = avg(NodeClass::Nat, &mut rng);

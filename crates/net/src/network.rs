@@ -125,10 +125,7 @@ impl Network {
 
     /// Whether `id` is currently in the system.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.nodes
-            .get(id.index())
-            .map(|n| n.alive)
-            .unwrap_or(false)
+        self.nodes.get(id.index()).map(|n| n.alive).unwrap_or(false)
     }
 
     /// Ground-truth record of a node (alive or departed).

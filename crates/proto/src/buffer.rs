@@ -301,10 +301,10 @@ mod tests {
         b.advance(0, 3); // blocks 0,4,8
         b.advance(1, 2); // blocks 1,5
         b.advance(2, 2); // blocks 2,6
-        // Substream 3 still empty: 0..=2 are contiguous, 3 is missing.
+                         // Substream 3 still empty: 0..=2 are contiguous, 3 is missing.
         assert_eq!(b.contiguous_edge(), Some(2));
         b.advance(3, 1); // block 3
-        // Now 0..=6 present except 7; edge = 6.
+                         // Now 0..=6 present except 7; edge = 6.
         assert_eq!(b.contiguous_edge(), Some(6));
         assert_eq!(b.contiguous_len(), 7);
         b.advance(3, 1); // block 7
@@ -343,7 +343,7 @@ mod tests {
     fn lag_counts_empty_substream_from_start() {
         let mut b = StreamBuffer::new(2, 0);
         b.advance(0, 5); // newest 8
-        // Substream 1 empty: treated as at first_wanted - k = -1 → 0-ish.
+                         // Substream 1 empty: treated as at first_wanted - k = -1 → 0-ish.
         assert!(b.lag(1) >= 8);
     }
 
@@ -362,7 +362,7 @@ mod tests {
     fn skip_to_fast_forwards_and_records_holes() {
         let mut b = StreamBuffer::new(4, 0);
         b.advance(2, 1); // block 2 received
-        // Skip past blocks 6, 10, 14 (largest ≡2 mod 4 ≤ 17 is 14).
+                         // Skip past blocks 6, 10, 14 (largest ≡2 mod 4 ≤ 17 is 14).
         assert_eq!(b.skip_to(2, 17), 3);
         assert_eq!(b.latest(2), Some(14));
         // The skipped blocks are holes, the received one is not.
@@ -385,7 +385,7 @@ mod tests {
         b.skip_to(0, 4); // holes at 0,2,4
         b.advance(0, 1); // block 6
         b.advance(1, 4); // blocks 1,3,5,7
-        // Edge advances past holes (they are "resolved" as lost).
+                         // Edge advances past holes (they are "resolved" as lost).
         assert_eq!(b.contiguous_edge(), Some(7));
         assert!(!b.has_block(4));
         assert!(b.has_block(6));

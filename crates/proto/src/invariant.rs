@@ -1,0 +1,493 @@
+//! Runtime protocol oracles.
+//!
+//! [`InvariantChecker`] is a `cs-sim` [`Observer`] that re-validates the
+//! whole protocol state after every dispatched event (or every `stride`
+//! events). It encodes the structural guarantees the implementation is
+//! supposed to maintain at *all* times — not just at the horizon, where
+//! the integration tests look. A violation does not abort the run;
+//! it is recorded with the time and the event kind that exposed it, so a
+//! failing run pinpoints the first bad transition.
+//!
+//! The oracles, all phrased over the public [`CsWorld`] API:
+//!
+//! 1. **Time monotonicity** — dispatch timestamps never regress.
+//! 2. **Partner bound** — no node exceeds its class's `M`.
+//! 3. **Partner symmetry** — every partnership is mutual, between live
+//!    nodes, with complementary initiator directions.
+//! 4. **Sub-stream coverage** — every peer has exactly `K` parent slots;
+//!    filled slots reference live partners that list the peer as child.
+//! 5. **Child backlinks** — every live child subscription points back via
+//!    the matching parent slot (dead children are lazily cleaned).
+//! 6. **Buffer heads bounded** — no sub-stream head passes the source's
+//!    live edge: blocks cannot come from the future.
+//! 7. **mCache referential integrity** — entries name once-seen nodes,
+//!    never the holder itself.
+//! 8. **Session accounting** — user arrivals = one session record each;
+//!    records without a leave time are exactly the live user nodes.
+
+use cs_sim::observer::Observer;
+use cs_sim::SimTime;
+
+use crate::world::{CsWorld, Event};
+
+/// One invariant violation, attributed to the event that exposed it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Simulated time of the offending check.
+    pub time: SimTime,
+    /// Kind of the event after which the check failed.
+    pub event_kind: &'static str,
+    /// Which oracle fired (stable short name).
+    pub rule: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} after {}] {}: {}",
+            self.time, self.event_kind, self.rule, self.detail
+        )
+    }
+}
+
+/// How many violations are retained verbatim; beyond this only the total
+/// is counted (a broken invariant usually fails on every later event).
+const MAX_RECORDED: usize = 64;
+
+/// An [`Observer`] that validates [`CsWorld`] invariants during a run.
+pub struct InvariantChecker {
+    stride: u64,
+    events_seen: u64,
+    checks_run: u64,
+    last_time: SimTime,
+    current_kind: &'static str,
+    violations: Vec<Violation>,
+    total_violations: u64,
+}
+
+impl InvariantChecker {
+    /// A checker that validates after every event.
+    pub fn new() -> Self {
+        Self::with_stride(1)
+    }
+
+    /// A checker that validates after every `stride`-th event (the time
+    /// monotonicity oracle still runs on every event). `stride` 0 is
+    /// treated as 1.
+    pub fn with_stride(stride: u64) -> Self {
+        InvariantChecker {
+            stride: stride.max(1),
+            events_seen: 0,
+            checks_run: 0,
+            last_time: SimTime::ZERO,
+            current_kind: "(none)",
+            violations: Vec::new(),
+            total_violations: 0,
+        }
+    }
+
+    /// Violations recorded so far (capped at an internal limit; see
+    /// [`InvariantChecker::total_violations`] for the true count).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations observed, including ones past the recording cap.
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// Whether no oracle has ever fired.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Number of full-world validation passes performed.
+    pub fn checks_run(&self) -> u64 {
+        self.checks_run
+    }
+
+    /// Number of events observed.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// One line per recorded violation, plus a truncation note.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("{v}\n"));
+        }
+        let extra = self.total_violations - self.violations.len() as u64;
+        if extra > 0 {
+            out.push_str(&format!("… and {extra} more violations\n"));
+        }
+        out
+    }
+
+    fn record(&mut self, now: SimTime, rule: &'static str, detail: String) {
+        self.total_violations += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(Violation {
+                time: now,
+                event_kind: self.current_kind,
+                rule,
+                detail,
+            });
+        }
+    }
+
+    /// Run every state oracle against `world` as of `now`. Called from
+    /// the observer hook; public so horizon-state checks can reuse it.
+    pub fn check_world(&mut self, now: SimTime, world: &CsWorld) {
+        self.checks_run += 1;
+        let k = world.params.substreams as usize;
+        let live_edge = world.params.live_edge(now);
+        let total_nodes = world.net.total_nodes();
+
+        for info in world.net.iter_alive() {
+            let Some(peer) = world.peer(info.id) else {
+                self.record(
+                    now,
+                    "peer-state",
+                    format!("alive node {:?} has no peer state", info.id),
+                );
+                continue;
+            };
+
+            // Oracle 2: partner bound.
+            let max = world.params.max_partners_for(info.class);
+            if peer.partners.len() > max {
+                self.record(
+                    now,
+                    "partner-bound",
+                    format!(
+                        "{:?} has {} partners > M = {max}",
+                        info.id,
+                        peer.partners.len()
+                    ),
+                );
+            }
+
+            // Oracle 3: symmetry, liveness, complementary directions.
+            for (&q, view) in &peer.partners {
+                if !world.net.is_alive(q) {
+                    self.record(
+                        now,
+                        "partner-liveness",
+                        format!("{:?} partnered with dead {:?}", info.id, q),
+                    );
+                    continue;
+                }
+                match world.peer(q).and_then(|qp| qp.partners.get(&info.id)) {
+                    None => self.record(
+                        now,
+                        "partner-symmetry",
+                        format!("partnership {:?}→{:?} not mutual", info.id, q),
+                    ),
+                    Some(back) => {
+                        if back.outgoing == view.outgoing {
+                            self.record(
+                                now,
+                                "partner-direction",
+                                format!(
+                                    "{:?}↔{:?}: both ends claim outgoing={}",
+                                    info.id, q, view.outgoing
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Oracle 4: sub-stream coverage and parent validity.
+            if peer.parents.len() != k {
+                self.record(
+                    now,
+                    "substream-coverage",
+                    format!(
+                        "{:?} has {} parent slots, expected K = {k}",
+                        info.id,
+                        peer.parents.len()
+                    ),
+                );
+            }
+            for (j, parent) in peer.parents.iter().enumerate() {
+                let Some(p) = parent else { continue };
+                if !peer.partners.contains_key(p) {
+                    self.record(
+                        now,
+                        "parent-is-partner",
+                        format!(
+                            "{:?} sub-stream {j} parent {:?} is not a partner",
+                            info.id, p
+                        ),
+                    );
+                }
+                let listed = world
+                    .peer(*p)
+                    .map(|pp| {
+                        pp.children
+                            .iter()
+                            .any(|&(c, cj)| c == info.id && cj as usize == j)
+                    })
+                    .unwrap_or(false);
+                if !listed {
+                    self.record(
+                        now,
+                        "parent-child-link",
+                        format!(
+                            "parent {:?} does not list child ({:?}, sub-stream {j})",
+                            p, info.id
+                        ),
+                    );
+                }
+            }
+
+            // Oracle 5: child backlinks (dead children are cleaned lazily).
+            for &(c, j) in &peer.children {
+                if !world.net.is_alive(c) {
+                    continue;
+                }
+                if let Some(cp) = world.peer(c) {
+                    if cp.parents.get(j as usize).copied().flatten() != Some(info.id) {
+                        self.record(
+                            now,
+                            "child-backlink",
+                            format!(
+                                "stale subscription: ({:?}, {j}) not backed at {:?}",
+                                c, info.id
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // Oracle 6: buffer heads never pass the source's live edge.
+            if let Some(buf) = &peer.buffer {
+                for i in 0..world.params.substreams {
+                    if let Some(h) = buf.latest(i) {
+                        if live_edge.is_none() || Some(h) > live_edge {
+                            self.record(
+                                now,
+                                "buffer-head",
+                                format!(
+                                    "{:?} sub-stream {i} head {h} > live edge {:?}",
+                                    info.id, live_edge
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Oracle 7: mCache referential integrity.
+            for e in peer.mcache.iter() {
+                if e.id == info.id {
+                    self.record(now, "mcache-self", format!("{:?} caches itself", info.id));
+                }
+                if e.id.index() >= total_nodes {
+                    self.record(
+                        now,
+                        "mcache-unknown-node",
+                        format!("{:?} caches never-seen node {:?}", info.id, e.id),
+                    );
+                }
+            }
+        }
+
+        // Oracle 8: session accounting. Every user arrival produced one
+        // session record; open records are exactly the live user nodes.
+        let user_records = world.sessions.iter().filter(|r| r.class.is_user()).count() as u64;
+        if user_records != world.stats.arrivals {
+            self.record(
+                now,
+                "session-count",
+                format!(
+                    "{} user session records != {} arrivals",
+                    user_records, world.stats.arrivals
+                ),
+            );
+        }
+        let open_records = world
+            .sessions
+            .iter()
+            .filter(|r| r.class.is_user() && r.leave.is_none())
+            .count();
+        let live_users = world.net.iter_alive().filter(|n| n.class.is_user()).count();
+        if open_records != live_users {
+            self.record(
+                now,
+                "session-balance",
+                format!("{open_records} open session records != {live_users} live user nodes"),
+            );
+        }
+    }
+}
+
+impl Default for InvariantChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Observer<CsWorld> for InvariantChecker {
+    fn on_dispatch(&mut self, now: SimTime, event: &Event, _queue_depth: usize) {
+        self.current_kind = event.kind();
+        // Oracle 1: time monotonicity, checked on every event.
+        if now < self.last_time {
+            self.record(
+                now,
+                "time-regression",
+                format!("dispatch at {} after {}", now, self.last_time),
+            );
+        }
+        self.last_time = now;
+        self.events_seen += 1;
+    }
+
+    fn after_handle(&mut self, now: SimTime, world: &CsWorld) {
+        if self.events_seen % self.stride == 0 {
+            self.check_world(now, world);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::peer::PartnerView;
+    use cs_net::{Bandwidth, ConnectivityPolicy, LatencyModel, Network, NodeId};
+
+    fn tiny_world() -> CsWorld {
+        let net = Network::new(ConnectivityPolicy::default(), LatencyModel::default(), 7);
+        CsWorld::new(Params::default(), net, 2, Bandwidth::mbps(100), 7)
+    }
+
+    #[test]
+    fn pristine_world_is_clean() {
+        let world = tiny_world();
+        let mut chk = InvariantChecker::new();
+        chk.check_world(SimTime::from_secs(1), &world);
+        assert!(chk.is_clean(), "{}", chk.report());
+        assert_eq!(chk.checks_run(), 1);
+    }
+
+    #[test]
+    fn asymmetric_partnership_is_caught() {
+        let mut world = tiny_world();
+        let a = world.servers[0];
+        let k = world.params.substreams as usize;
+        // Reach in through the public test-only accessor path: build the
+        // corruption via direct session/peer surgery. `peer` is read-only,
+        // so corrupt through a fresh world instead: fabricate a one-sided
+        // partner view on server a pointing at server b.
+        let b = world.servers[1];
+        world
+            .peer_mut_for_tests(a)
+            .expect("server peer")
+            .partners
+            .insert(
+                b,
+                PartnerView {
+                    latest: vec![None; k],
+                    outgoing: true,
+                    since: SimTime::ZERO,
+                },
+            );
+        let mut chk = InvariantChecker::new();
+        chk.check_world(SimTime::from_secs(1), &world);
+        assert!(!chk.is_clean());
+        assert!(
+            chk.violations()
+                .iter()
+                .any(|v| v.rule == "partner-symmetry"),
+            "{}",
+            chk.report()
+        );
+    }
+
+    #[test]
+    fn future_buffer_head_is_caught() {
+        let mut world = tiny_world();
+        let a = world.servers[0];
+        let k = world.params.substreams;
+        let mut buf = crate::buffer::StreamBuffer::new(k, 0);
+        buf.advance(0, 1_000_000); // far past any early live edge
+        world.peer_mut_for_tests(a).expect("server peer").buffer = Some(buf);
+        let mut chk = InvariantChecker::new();
+        chk.check_world(SimTime::from_secs(1), &world);
+        assert!(
+            chk.violations().iter().any(|v| v.rule == "buffer-head"),
+            "{}",
+            chk.report()
+        );
+    }
+
+    #[test]
+    fn self_caching_is_caught() {
+        let mut world = tiny_world();
+        let a = world.servers[0];
+        let entry = crate::mcache::McEntry {
+            id: a,
+            joined_at: SimTime::ZERO,
+            added_at: SimTime::ZERO,
+        };
+        let mut rng = cs_sim::rng::Xoshiro256PlusPlus::new(1);
+        world
+            .peer_mut_for_tests(a)
+            .expect("server peer")
+            .mcache
+            .insert(entry, crate::params::ReplacePolicy::Random, &mut rng);
+        let mut chk = InvariantChecker::new();
+        chk.check_world(SimTime::from_secs(1), &world);
+        assert!(
+            chk.violations().iter().any(|v| v.rule == "mcache-self"),
+            "{}",
+            chk.report()
+        );
+    }
+
+    #[test]
+    fn time_regression_is_caught() {
+        let mut chk = InvariantChecker::new();
+        let ev = Event::Snapshot;
+        Observer::<CsWorld>::on_dispatch(&mut chk, SimTime::from_secs(10), &ev, 0);
+        Observer::<CsWorld>::on_dispatch(&mut chk, SimTime::from_secs(5), &ev, 0);
+        assert!(
+            chk.violations().iter().any(|v| v.rule == "time-regression"),
+            "{}",
+            chk.report()
+        );
+        assert_eq!(chk.events_seen(), 2);
+    }
+
+    #[test]
+    fn report_caps_recorded_violations() {
+        let mut world = tiny_world();
+        let a = world.servers[0];
+        // One violation per check; run enough checks to pass the cap.
+        let entry = crate::mcache::McEntry {
+            id: NodeId(9999),
+            joined_at: SimTime::ZERO,
+            added_at: SimTime::ZERO,
+        };
+        let mut rng = cs_sim::rng::Xoshiro256PlusPlus::new(2);
+        world
+            .peer_mut_for_tests(a)
+            .expect("server peer")
+            .mcache
+            .insert(entry, crate::params::ReplacePolicy::Random, &mut rng);
+        let mut chk = InvariantChecker::new();
+        for _ in 0..(MAX_RECORDED as u64 + 10) {
+            chk.check_world(SimTime::from_secs(1), &world);
+        }
+        assert_eq!(chk.violations().len(), MAX_RECORDED);
+        assert!(chk.total_violations() > MAX_RECORDED as u64);
+        assert!(chk.report().contains("more violations"));
+    }
+}

@@ -21,6 +21,7 @@
 
 mod bootstrap;
 mod buffer;
+mod invariant;
 mod mcache;
 mod params;
 mod peer;
@@ -30,6 +31,7 @@ mod world;
 
 pub use bootstrap::Bootstrap;
 pub use buffer::{BufferMap, StreamBuffer};
+pub use invariant::{InvariantChecker, Violation};
 pub use mcache::{MCache, McEntry};
 pub use params::{Allocation, Params, ReplacePolicy, StartPolicy};
 pub use peer::{PartnerView, Peer, ReportCounters};

@@ -163,10 +163,7 @@ mod tests {
         c.insert(e(5, 10), ReplacePolicy::Random, &mut rng);
         c.insert(e(5, 20), ReplacePolicy::Random, &mut rng);
         assert_eq!(c.len(), 1);
-        assert_eq!(
-            c.iter().next().unwrap().joined_at,
-            SimTime::from_secs(20)
-        );
+        assert_eq!(c.iter().next().unwrap().joined_at, SimTime::from_secs(20));
     }
 
     #[test]

@@ -278,16 +278,22 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_configs() {
-        let mut p = Params::default();
-        p.substreams = 0;
+        let p = Params {
+            substreams: 0,
+            ..Params::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = Params::default();
-        p.tp_blocks = 100_000;
+        let p = Params {
+            tp_blocks: 100_000,
+            ..Params::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = Params::default();
-        p.giveup_loss = 1.5;
+        let p = Params {
+            giveup_loss: 1.5,
+            ..Params::default()
+        };
         assert!(p.validate().is_err());
     }
 

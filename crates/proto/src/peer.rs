@@ -181,7 +181,7 @@ impl Peer {
     /// Whether the cool-down timer permits a quality-triggered adaptation
     /// now (§IV.B: once per `T_a`).
     pub fn adaptation_allowed(&self, now: SimTime, ta: SimTime) -> bool {
-        self.last_adapt.map_or(true, |t| now.saturating_sub(t) >= ta)
+        self.last_adapt.is_none_or(|t| now.saturating_sub(t) >= ta)
     }
 }
 

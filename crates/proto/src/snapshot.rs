@@ -13,7 +13,7 @@ use cs_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate topology metrics at one instant.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TopologySnapshot {
     /// Snapshot time.
     pub time: SimTime,

@@ -85,6 +85,29 @@ pub enum Event {
     CrashServer(usize),
 }
 
+impl Event {
+    /// Stable name of the event's kind, ignoring its payload. Used by
+    /// instrumentation (per-kind counters, trace hashing); renaming a
+    /// variant here invalidates golden trace hashes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Arrive(_) => "arrive",
+            Event::BootstrapReply(_) => "bootstrap_reply",
+            Event::PartnersReady(_) => "partners_ready",
+            Event::PatienceCheck(_) => "patience_check",
+            Event::Depart(_) => "depart",
+            Event::GossipTick(_) => "gossip_tick",
+            Event::BmTick(_) => "bm_tick",
+            Event::SchedRound(_) => "sched_round",
+            Event::PlaybackTick(_) => "playback_tick",
+            Event::ReportTick(_) => "report_tick",
+            Event::Snapshot => "snapshot",
+            Event::SetBootstrap(_) => "set_bootstrap",
+            Event::CrashServer(_) => "crash_server",
+        }
+    }
+}
+
 /// Run-wide counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WorldStats {
@@ -166,10 +189,10 @@ impl CsWorld {
         let mut peers: Vec<Option<Peer>> = Vec::new();
         let mut sessions = Vec::new();
         let push_infra = |net: &mut Network,
-                              peers: &mut Vec<Option<Peer>>,
-                              sessions: &mut Vec<SessionRecord>,
-                              class: NodeClass,
-                              bw: Bandwidth| {
+                          peers: &mut Vec<Option<Peer>>,
+                          sessions: &mut Vec<SessionRecord>,
+                          class: NodeClass,
+                          bw: Bandwidth| {
             let id = net.add_node(class, bw, SimTime::ZERO);
             let peer = Peer::new(
                 id,
@@ -205,10 +228,22 @@ impl CsWorld {
         };
 
         let source_bw = Bandwidth::mbps(12);
-        let source = push_infra(&mut net, &mut peers, &mut sessions, NodeClass::Source, source_bw);
+        let source = push_infra(
+            &mut net,
+            &mut peers,
+            &mut sessions,
+            NodeClass::Source,
+            source_bw,
+        );
         let servers: Vec<NodeId> = (0..n_servers)
             .map(|_| {
-                let id = push_infra(&mut net, &mut peers, &mut sessions, NodeClass::Server, server_bw);
+                let id = push_infra(
+                    &mut net,
+                    &mut peers,
+                    &mut sessions,
+                    NodeClass::Server,
+                    server_bw,
+                );
                 bootstrap.add_server(id, SimTime::ZERO);
                 id
             })
@@ -242,8 +277,8 @@ impl CsWorld {
             .enumerate()
             .map(|(i, &s)| {
                 // Stagger server rounds across the interval.
-                let phase = self.params.sched_interval * (i as u64 + 1)
-                    / (self.servers.len() as u64 + 1);
+                let phase =
+                    self.params.sched_interval * (i as u64 + 1) / (self.servers.len() as u64 + 1);
                 (phase, Event::SchedRound(s))
             })
             .collect();
@@ -260,6 +295,13 @@ impl CsWorld {
 
     fn peer_mut(&mut self, id: NodeId) -> Option<&mut Peer> {
         self.peers.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// Crate-internal mutable peer access, used by the invariant
+    /// checker's tests to fabricate corrupted states.
+    #[cfg(test)]
+    pub(crate) fn peer_mut_for_tests(&mut self, id: NodeId) -> Option<&mut Peer> {
+        self.peer_mut(id)
     }
 
     /// Simultaneous mutable access to two distinct peers.
@@ -503,7 +545,19 @@ impl CsWorld {
         if !self.net.is_alive(id) || !self.net.node(id).class.is_user() {
             return None;
         }
-        let (user, private, partners, children, parents, retries_left, retry_index, leave_at, patience, class, upload) = {
+        let (
+            user,
+            private,
+            partners,
+            children,
+            parents,
+            retries_left,
+            retry_index,
+            leave_at,
+            patience,
+            class,
+            upload,
+        ) = {
             let p = self.peer(id)?;
             (
                 p.user,
@@ -640,21 +694,19 @@ impl CsWorld {
                 let leftover = (total_budget - base * d_p).max(0.0);
                 let deficits: Vec<f64> = live
                     .iter()
-                    .map(|&(c, j)| {
-                        match (parent_bm[j as usize], self.peer(c)) {
-                            (Some(pl), Some(cp)) => match cp.buffer.as_ref() {
-                                Some(buf) => {
-                                    let next = buf.next_missing(j);
-                                    if pl >= next {
-                                        (((pl - next) / k as u64 + 1) as f64).min(window as f64)
-                                    } else {
-                                        0.0
-                                    }
+                    .map(|&(c, j)| match (parent_bm[j as usize], self.peer(c)) {
+                        (Some(pl), Some(cp)) => match cp.buffer.as_ref() {
+                            Some(buf) => {
+                                let next = buf.next_missing(j);
+                                if pl >= next {
+                                    (((pl - next) / k as u64 + 1) as f64).min(window as f64)
+                                } else {
+                                    0.0
                                 }
-                                None => 0.0,
-                            },
-                            _ => 0.0,
-                        }
+                            }
+                            None => 0.0,
+                        },
+                        _ => 0.0,
                     })
                     .collect();
                 let total_deficit: f64 = deficits.iter().sum();
@@ -735,9 +787,13 @@ impl CsWorld {
             return false;
         }
         // 1. Refresh partner views; detect dead partners.
-        let partner_ids: Vec<NodeId> = self.peer(id).map(|p| p.partners.keys().copied().collect()).unwrap_or_default();
+        let partner_ids: Vec<NodeId> = self
+            .peer(id)
+            .map(|p| p.partners.keys().copied().collect())
+            .unwrap_or_default();
         let mut dead = Vec::new();
-        let bm_wire = 40 + 8 * self.params.substreams as u64 + self.params.substreams.div_ceil(8) as u64;
+        let bm_wire =
+            40 + 8 * self.params.substreams as u64 + self.params.substreams.div_ceil(8) as u64;
         for q in &partner_ids {
             if self.net.is_alive(*q) {
                 let bm = self.current_bm(*q, now);
@@ -827,14 +883,18 @@ impl CsWorld {
         // (uniform starvation under peer competition). In that state the
         // sub-streams trailing the live edge the most get re-selected.
         let live_edge = self.params.live_edge(now);
-        let lead = peer.buffer.as_ref().expect("checked").contiguous_edge().map(|e| e.saturating_sub(peer.next_play));
+        let lead = peer
+            .buffer
+            .as_ref()
+            .expect("checked")
+            .contiguous_edge()
+            .map(|e| e.saturating_sub(peer.next_play));
         // Low lead triggers re-selection only while the lead is still
         // shrinking; during recovery after a switch the node holds.
         let lead_low = peer.media_ready.is_some()
             && match lead {
                 Some(l) => {
-                    l < self.params.low_water_blocks
-                        && peer.last_lead.map_or(true, |prev| l < prev)
+                    l < self.params.low_water_blocks && peer.last_lead.is_none_or(|prev| l < prev)
                 }
                 None => true,
             };
@@ -931,9 +991,7 @@ impl CsWorld {
             p.partners
                 .iter()
                 .filter(|(q, _)| !parents.contains(q))
-                .min_by_key(|(_, view)| {
-                    view.latest.iter().flatten().copied().max().unwrap_or(0)
-                })
+                .min_by_key(|(_, view)| view.latest.iter().flatten().copied().max().unwrap_or(0))
                 .map(|(&q, _)| q)
         };
         if let Some(victim) = victim {
@@ -988,9 +1046,7 @@ impl CsWorld {
         let mut give_up = false;
         {
             let p = self.peer_mut(id)?;
-            let Some(buf) = p.buffer.as_ref() else {
-                return None;
-            };
+            let buf = p.buffer.as_ref()?;
             match p.media_ready {
                 None => {
                     if buf.contiguous_len() >= delay_blocks {
@@ -1108,9 +1164,9 @@ impl CsWorld {
                 self.rng_mem = rng;
                 return;
             };
-            let mut entries =
-                p.mcache
-                    .sample(self.params.gossip_fanout, &mut rng, |c| c == target);
+            let mut entries = p
+                .mcache
+                .sample(self.params.gossip_fanout, &mut rng, |c| c == target);
             entries.push(McEntry {
                 id,
                 joined_at: p.join_time,
@@ -1311,7 +1367,10 @@ impl CsWorld {
         if !self.bootstrap_up {
             // Request times out; the client backs off and retries.
             self.stats.bootstrap_rejects += 1;
-            ctx.schedule_in(self.params.join_retry_backoff * 2, Event::BootstrapReply(id));
+            ctx.schedule_in(
+                self.params.join_retry_backoff * 2,
+                Event::BootstrapReply(id),
+            );
             return;
         }
         let mut rng = self.rng_mem.clone();
@@ -1383,8 +1442,14 @@ impl CsWorld {
         );
         ctx.schedule_in(bm + phase(&mut self.rng_mem, bm), Event::BmTick(id));
         ctx.schedule_in(phase(&mut self.rng_mem, sched), Event::SchedRound(id));
-        ctx.schedule_in(play + phase(&mut self.rng_mem, play), Event::PlaybackTick(id));
-        ctx.schedule_in(gossip + phase(&mut self.rng_mem, gossip), Event::GossipTick(id));
+        ctx.schedule_in(
+            play + phase(&mut self.rng_mem, play),
+            Event::PlaybackTick(id),
+        );
+        ctx.schedule_in(
+            gossip + phase(&mut self.rng_mem, gossip),
+            Event::GossipTick(id),
+        );
         let first_report = self.params.first_report_delay;
         ctx.schedule_in(
             first_report + phase(&mut self.rng_mem, first_report),
@@ -1409,8 +1474,8 @@ impl World for CsWorld {
             Event::BootstrapReply(id) => self.bootstrap_reply(id, now, ctx),
             Event::PartnersReady(id) => self.partners_ready(id, now, ctx),
             Event::PatienceCheck(id) => {
-                let not_ready =
-                    self.net.is_alive(id) && self.peer(id).map(|p| p.media_ready.is_none()) == Some(true);
+                let not_ready = self.net.is_alive(id)
+                    && self.peer(id).map(|p| p.media_ready.is_none()) == Some(true);
                 if not_ready {
                     if let Some(retry) = self.depart(id, now, DepartReason::Impatient) {
                         self.schedule_retry(retry, ctx);

@@ -139,12 +139,14 @@ proptest! {
         delay in 0u64..10_000,
         giveup in -1.0f64..2.0,
     ) {
-        let mut p = Params::default();
-        p.substreams = substreams;
-        p.block_bytes = block_bytes;
-        p.tp_blocks = tp;
-        p.playback_delay_blocks = delay;
-        p.giveup_loss = giveup;
+        let p = Params {
+            substreams,
+            block_bytes,
+            tp_blocks: tp,
+            playback_delay_blocks: delay,
+            giveup_loss: giveup,
+            ..Params::default()
+        };
         let _ = p.validate(); // must not panic
     }
 }

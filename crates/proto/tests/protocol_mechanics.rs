@@ -194,8 +194,7 @@ fn server_buffer_map_tracks_live_edge() {
         let adv = view.latest[j].expect("server advertises all substreams");
         assert!(adv <= edge, "substream {j} ahead of the lagged edge");
         // Within one BM interval of stream progress behind.
-        let staleness =
-            (w.params.bm_interval.as_secs_f64() + 1.0) * w.params.blocks_per_sec();
+        let staleness = (w.params.bm_interval.as_secs_f64() + 1.0) * w.params.blocks_per_sec();
         assert!(
             (edge - adv) as f64 <= staleness + k as f64,
             "substream {j} too stale: adv {adv} vs edge {edge}"
@@ -251,7 +250,10 @@ fn giveup_cleanup_is_complete() {
     }
     eng.run_until(SimTime::from_secs(900));
     let w = eng.world();
-    assert!(w.stats.giveup_departs > 0, "no give-ups in a starved overlay");
+    assert!(
+        w.stats.giveup_departs > 0,
+        "no give-ups in a starved overlay"
+    );
     for info in w.net.iter_alive() {
         if let Some(peer) = w.peer(info.id) {
             for q in peer.partners.keys() {

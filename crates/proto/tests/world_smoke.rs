@@ -7,7 +7,13 @@ use cs_sim::{Engine, SimTime};
 
 fn build_world(seed: u64, n_servers: usize) -> Engine<CsWorld> {
     let net = Network::new(ConnectivityPolicy::default(), LatencyModel::default(), seed);
-    let world = CsWorld::new(Params::default(), net, n_servers, Bandwidth::mbps(100), seed);
+    let world = CsWorld::new(
+        Params::default(),
+        net,
+        n_servers,
+        Bandwidth::mbps(100),
+        seed,
+    );
     let mut eng = Engine::new(world);
     for (t, e) in eng.world().initial_events() {
         eng.schedule_at(t, e);
@@ -164,11 +170,7 @@ fn churn_repairs_orphans() {
     eng.run_until(SimTime::from_secs(600));
     let world = eng.world();
     // The strong peer left on schedule.
-    let s0 = world
-        .sessions
-        .iter()
-        .find(|s| s.user == UserId(0))
-        .unwrap();
+    let s0 = world.sessions.iter().find(|s| s.user == UserId(0)).unwrap();
     assert!(s0.leave.is_some());
     // Every live peer's parents are live.
     for info in world.net.iter_alive() {
@@ -195,7 +197,10 @@ fn churn_repairs_orphans() {
                 .unwrap_or(false)
         })
         .count();
-    assert!(streaming >= 5, "only {streaming} peers streaming after churn");
+    assert!(
+        streaming >= 5,
+        "only {streaming} peers streaming after churn"
+    );
 }
 
 /// With zero servers and only NAT peers, joins must fail and retries

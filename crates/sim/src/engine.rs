@@ -5,6 +5,7 @@
 //! world together with a [`Ctx`] through which the handler schedules
 //! follow-up events, reads the clock, or requests a stop.
 
+use crate::observer::Observer;
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -88,6 +89,7 @@ pub struct Engine<W: World> {
     world: W,
     queue: EventQueue<W::Event>,
     now: SimTime,
+    observer: Option<Box<dyn Observer<W>>>,
     /// Hard cap on dispatched events per `run_until` call, to convert
     /// accidental infinite self-scheduling into a visible error condition.
     pub event_budget: u64,
@@ -100,8 +102,25 @@ impl<W: World> Engine<W> {
             world,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            observer: None,
             event_budget: u64::MAX,
         }
+    }
+
+    /// Attach an observer; replaces any previous one. See the
+    /// [`observer`](crate::observer) module for keeping a readable handle.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer<W>>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detach and return the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer<W>>> {
+        self.observer.take()
+    }
+
+    /// Whether an observer is attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// Current simulated time.
@@ -155,6 +174,9 @@ impl<W: World> Engine<W> {
             }
             let (t, event) = self.queue.pop().expect("peeked entry vanished");
             self.now = t;
+            if let Some(obs) = &mut self.observer {
+                obs.on_dispatch(t, &event, self.queue.len());
+            }
             let mut ctx = Ctx {
                 now: t,
                 queue: &mut self.queue,
@@ -162,6 +184,9 @@ impl<W: World> Engine<W> {
             };
             self.world.handle(&mut ctx, event);
             let stop = ctx.stop;
+            if let Some(obs) = &mut self.observer {
+                obs.after_handle(t, &self.world);
+            }
             events += 1;
             if stop {
                 break StopReason::Stopped;

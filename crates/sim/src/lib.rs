@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod observer;
 mod queue;
 pub mod rng;
 mod time;
 mod trace;
 
 pub use engine::{Ctx, Engine, RunStats, StopReason, World};
+pub use observer::{EventStats, MultiObserver, Observer, TraceHasher};
 pub use queue::EventQueue;
 pub use time::SimTime;
 pub use trace::{Trace, TraceEntry};

@@ -1,0 +1,359 @@
+//! Engine instrumentation.
+//!
+//! An [`Observer`] is attached to an [`Engine`](crate::Engine) and sees
+//! every dispatched event twice: once *before* the world's handler runs
+//! ([`Observer::on_dispatch`], with the event itself) and once *after*
+//! ([`Observer::after_handle`], with the post-event world). This is the
+//! hook through which correctness tooling — invariant checkers, trace
+//! hashers, event accounting — watches a run without the world knowing
+//! it is being watched.
+//!
+//! Built-in observers:
+//!
+//! * [`EventStats`] — per-event-kind dispatch counters plus the queue
+//!   depth high-water mark,
+//! * [`TraceHasher`] — folds `(time, event kind)` of every dispatch into
+//!   one `u64` (FNV-1a), so two runs can be compared for behavioural
+//!   identity by comparing a single number,
+//! * [`MultiObserver`] — fan-out to several observers.
+//!
+//! Observers are attached as `Box<dyn Observer<W>>`, which would normally
+//! mean losing access to the concrete value's results. To keep a handle,
+//! wrap the observer in `Rc<RefCell<_>>` — the blanket impl forwards the
+//! hooks — attach a clone, and read the original after the run:
+//!
+//! ```
+//! use cs_sim::{Ctx, Engine, SimTime, TraceHasher, World};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! struct Nop;
+//! impl World for Nop {
+//!     type Event = ();
+//!     fn handle(&mut self, _: &mut Ctx<'_, ()>, _: ()) {}
+//! }
+//!
+//! let hasher = Rc::new(RefCell::new(TraceHasher::new(|_: &()| "tick")));
+//! let mut eng = Engine::new(Nop);
+//! eng.set_observer(Box::new(Rc::clone(&hasher)));
+//! eng.schedule_at(SimTime::from_secs(1), ());
+//! eng.run_until(SimTime::from_secs(10));
+//! assert_eq!(hasher.borrow().events(), 1);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::engine::World;
+use crate::time::SimTime;
+
+/// A passive watcher of the engine's dispatch loop.
+///
+/// Both hooks default to no-ops so an observer implements only what it
+/// needs. Observers must not assume they see *all* events of a run: one
+/// can be attached or detached between `run_until` segments.
+pub trait Observer<W: World> {
+    /// Called for every event immediately before the world handles it.
+    ///
+    /// `queue_depth` is the number of events still pending *after* this
+    /// one was popped.
+    fn on_dispatch(&mut self, now: SimTime, event: &W::Event, queue_depth: usize) {
+        let _ = (now, event, queue_depth);
+    }
+
+    /// Called immediately after the world's handler returns, with the
+    /// post-event world state. The event itself was consumed by the
+    /// handler; stash anything needed from it in [`Observer::on_dispatch`].
+    fn after_handle(&mut self, now: SimTime, world: &W) {
+        let _ = (now, world);
+    }
+}
+
+/// Forward hooks through a shared handle, so callers can keep reading
+/// an observer they have attached to an engine (see module docs).
+impl<W: World, T: Observer<W>> Observer<W> for Rc<RefCell<T>> {
+    fn on_dispatch(&mut self, now: SimTime, event: &W::Event, queue_depth: usize) {
+        self.borrow_mut().on_dispatch(now, event, queue_depth);
+    }
+    fn after_handle(&mut self, now: SimTime, world: &W) {
+        self.borrow_mut().after_handle(now, world);
+    }
+}
+
+/// Per-event-kind dispatch counters and queue-depth high-water mark.
+///
+/// Event kinds are produced by a caller-supplied classifier
+/// `fn(&Event) -> &'static str`, keeping this crate ignorant of any
+/// particular event alphabet.
+pub struct EventStats<E> {
+    classify: fn(&E) -> &'static str,
+    counts: BTreeMap<&'static str, u64>,
+    queue_high_water: usize,
+    events: u64,
+}
+
+impl<E> EventStats<E> {
+    /// Counters using `classify` to name each event.
+    pub fn new(classify: fn(&E) -> &'static str) -> Self {
+        EventStats {
+            classify,
+            counts: BTreeMap::new(),
+            queue_high_water: 0,
+            events: 0,
+        }
+    }
+
+    /// Dispatch count per event kind, sorted by kind name.
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Largest pending-queue depth seen at any dispatch.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
+    /// Total events observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Render as one `kind count` line per kind plus a high-water line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (kind, n) in &self.counts {
+            out.push_str(&format!("{kind:24} {n}\n"));
+        }
+        out.push_str(&format!(
+            "queue high-water mark    {}\n",
+            self.queue_high_water
+        ));
+        out
+    }
+}
+
+impl<W: World> Observer<W> for EventStats<W::Event> {
+    fn on_dispatch(&mut self, _now: SimTime, event: &W::Event, queue_depth: usize) {
+        *self.counts.entry((self.classify)(event)).or_insert(0) += 1;
+        self.queue_high_water = self.queue_high_water.max(queue_depth);
+        self.events += 1;
+    }
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold bytes into an FNV-1a accumulator.
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Deterministic trace digest: folds `(timestamp, event kind)` of every
+/// dispatched event into a single `u64`.
+///
+/// Two runs with the same configuration and seed must produce the same
+/// digest; a digest difference means the runs diverged at *some* event,
+/// which is exactly the property determinism tests need — without
+/// retaining the (potentially hundreds of millions of events) trace.
+pub struct TraceHasher<E> {
+    classify: fn(&E) -> &'static str,
+    hash: u64,
+    events: u64,
+}
+
+impl<E> TraceHasher<E> {
+    /// A hasher using `classify` to name each event.
+    pub fn new(classify: fn(&E) -> &'static str) -> Self {
+        TraceHasher {
+            classify,
+            hash: FNV_OFFSET,
+            events: 0,
+        }
+    }
+
+    /// The digest so far.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of events folded in.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl<W: World> Observer<W> for TraceHasher<W::Event> {
+    fn on_dispatch(&mut self, now: SimTime, event: &W::Event, _queue_depth: usize) {
+        self.hash = fnv1a(self.hash, &now.as_micros().to_le_bytes());
+        self.hash = fnv1a(self.hash, (self.classify)(event).as_bytes());
+        self.events += 1;
+    }
+}
+
+/// Fan-out: forwards every hook to each inner observer, in order.
+pub struct MultiObserver<W: World> {
+    inner: Vec<Box<dyn Observer<W>>>,
+}
+
+impl<W: World> MultiObserver<W> {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        MultiObserver { inner: Vec::new() }
+    }
+
+    /// Append an observer (builder style).
+    pub fn with(mut self, obs: Box<dyn Observer<W>>) -> Self {
+        self.inner.push(obs);
+        self
+    }
+
+    /// Append an observer.
+    pub fn push(&mut self, obs: Box<dyn Observer<W>>) {
+        self.inner.push(obs);
+    }
+
+    /// Number of inner observers.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the fan-out is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<W: World> Default for MultiObserver<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: World> Observer<W> for MultiObserver<W> {
+    fn on_dispatch(&mut self, now: SimTime, event: &W::Event, queue_depth: usize) {
+        for obs in &mut self.inner {
+            obs.on_dispatch(now, event, queue_depth);
+        }
+    }
+    fn after_handle(&mut self, now: SimTime, world: &W) {
+        for obs in &mut self.inner {
+            obs.after_handle(now, world);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Ctx, Engine};
+
+    /// Fans out `n` one-shot events per tick until `depth` generations.
+    struct Fanout {
+        handled: u64,
+    }
+
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Spawn(u32),
+        Leaf,
+    }
+
+    fn kind(e: &Ev) -> &'static str {
+        match e {
+            Ev::Spawn(_) => "spawn",
+            Ev::Leaf => "leaf",
+        }
+    }
+
+    impl World for Fanout {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, event: Ev) {
+            self.handled += 1;
+            if let Ev::Spawn(gen) = event {
+                if gen > 0 {
+                    ctx.schedule_in(SimTime::from_secs(1), Ev::Spawn(gen - 1));
+                }
+                ctx.schedule_in(SimTime::from_secs(1), Ev::Leaf);
+                ctx.schedule_in(SimTime::from_secs(1), Ev::Leaf);
+            }
+        }
+    }
+
+    fn run_instrumented(seed_gen: u32) -> (u64, u64, BTreeMap<&'static str, u64>, usize) {
+        let stats = Rc::new(RefCell::new(EventStats::new(kind as fn(&Ev) -> _)));
+        let hasher = Rc::new(RefCell::new(TraceHasher::new(kind as fn(&Ev) -> _)));
+        let mut eng = Engine::new(Fanout { handled: 0 });
+        eng.set_observer(Box::new(
+            MultiObserver::new()
+                .with(Box::new(Rc::clone(&stats)))
+                .with(Box::new(Rc::clone(&hasher))),
+        ));
+        eng.schedule_at(SimTime::ZERO, Ev::Spawn(seed_gen));
+        eng.run_until(SimTime::MAX);
+        let handled = eng.world().handled;
+        let h = hasher.borrow();
+        let s = stats.borrow();
+        (h.hash(), handled, s.counts().clone(), s.queue_high_water())
+    }
+
+    #[test]
+    fn stats_count_every_dispatch_by_kind() {
+        let (_, handled, counts, high_water) = run_instrumented(3);
+        // Spawn(3..=0) → 4 spawn events, each emitting 2 leaves.
+        assert_eq!(counts["spawn"], 4);
+        assert_eq!(counts["leaf"], 8);
+        assert_eq!(handled, 12);
+        assert!(high_water >= 2, "high water {high_water}");
+    }
+
+    #[test]
+    fn trace_hash_is_reproducible_and_discriminates() {
+        let (h1, ..) = run_instrumented(3);
+        let (h2, ..) = run_instrumented(3);
+        let (h3, ..) = run_instrumented(4);
+        assert_eq!(h1, h2, "same run must hash identically");
+        assert_ne!(h1, h3, "different runs must (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn observer_can_be_detached_and_read() {
+        let stats = Rc::new(RefCell::new(EventStats::new(kind as fn(&Ev) -> _)));
+        let mut eng = Engine::new(Fanout { handled: 0 });
+        eng.set_observer(Box::new(Rc::clone(&stats)));
+        eng.schedule_at(SimTime::ZERO, Ev::Spawn(0));
+        eng.run_until(SimTime::MAX);
+        assert!(eng.take_observer().is_some());
+        assert!(eng.take_observer().is_none());
+        // Detached runs see nothing new.
+        let before = stats.borrow().events();
+        eng.schedule_at(eng.now(), Ev::Leaf);
+        eng.run_until(SimTime::MAX);
+        assert_eq!(stats.borrow().events(), before);
+        assert!(stats.borrow().render().contains("queue high-water"));
+    }
+
+    #[test]
+    fn after_handle_sees_post_event_world() {
+        struct Snoop {
+            last_handled: u64,
+        }
+        impl Observer<Fanout> for Snoop {
+            fn after_handle(&mut self, _now: SimTime, world: &Fanout) {
+                self.last_handled = world.handled;
+            }
+        }
+        let snoop = Rc::new(RefCell::new(Snoop { last_handled: 0 }));
+        let mut eng = Engine::new(Fanout { handled: 0 });
+        eng.set_observer(Box::new(Rc::clone(&snoop)));
+        eng.schedule_at(SimTime::ZERO, Ev::Spawn(1));
+        eng.run_until(SimTime::MAX);
+        assert_eq!(snoop.borrow().last_handled, eng.world().handled);
+    }
+}

@@ -54,7 +54,12 @@ impl Workload {
 
     /// Generate all arrivals in `[start, horizon)`, deterministically in
     /// `seed`. Returns `(arrival_time, spec)` pairs in time order.
-    pub fn generate(&self, seed: u64, start: SimTime, horizon: SimTime) -> Vec<(SimTime, UserSpec)> {
+    pub fn generate(
+        &self,
+        seed: u64,
+        start: SimTime,
+        horizon: SimTime,
+    ) -> Vec<(SimTime, UserSpec)> {
         self.mix.validate().expect("invalid class mix");
         let mut arr_rng = Xoshiro256PlusPlus::stream(seed, streams::ARRIVALS);
         let mut sess_rng = Xoshiro256PlusPlus::stream(seed, streams::SESSIONS);
@@ -220,6 +225,8 @@ mod tests {
     #[test]
     fn zero_rate_produces_nothing() {
         let w = Workload::steady(0.0);
-        assert!(w.generate(11, SimTime::ZERO, SimTime::from_hours(1)).is_empty());
+        assert!(w
+            .generate(11, SimTime::ZERO, SimTime::from_hours(1))
+            .is_empty());
     }
 }

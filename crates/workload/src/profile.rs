@@ -144,6 +144,9 @@ mod tests {
     #[test]
     fn rate_wraps_past_midnight() {
         let p = RateProfile::event_day(1.0);
-        assert_eq!(p.rate(SimTime::from_hours(25)), p.rate(SimTime::from_hours(1)));
+        assert_eq!(
+            p.rate(SimTime::from_hours(25)),
+            p.rate(SimTime::from_hours(1))
+        );
     }
 }

@@ -70,8 +70,8 @@ impl SessionModel {
             let (lo, hi) = self.zap_range_secs;
             return SimTime::from_secs_f64(rng.gen_range(lo..hi));
         }
-        let dist = LogNormal::new(self.watch_median_secs.ln(), self.watch_sigma)
-            .expect("valid lognormal");
+        let dist =
+            LogNormal::new(self.watch_median_secs.ln(), self.watch_sigma).expect("valid lognormal");
         SimTime::from_secs_f64(dist.sample(rng).clamp(10.0, 6.0 * 3600.0))
     }
 

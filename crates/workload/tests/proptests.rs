@@ -1,8 +1,8 @@
 //! Property tests for the workload generator.
 
+use cs_sim::rng::Xoshiro256PlusPlus;
 use cs_sim::SimTime;
 use cs_workload::{ClassMix, RateProfile, SessionModel, Workload};
-use cs_sim::rng::Xoshiro256PlusPlus;
 use proptest::prelude::*;
 
 proptest! {

@@ -41,18 +41,18 @@ fn main() {
     let want = |f: &str| fig == "all" || fig == f;
 
     if want("3") || fig == "3a" || fig == "3b" {
-        print!(
-            "{}\n",
+        println!(
+            "{}",
             experiments::fig3_user_types(&artifacts, &view).render()
         );
     }
     if want("4") {
-        print!("{}\n", experiments::fig4_convergence(&artifacts).render());
+        println!("{}", experiments::fig4_convergence(&artifacts).render());
     }
     if want("5") {
         let curve =
             experiments::fig5_population(&view, SimTime::ZERO, day_end, SimTime::from_mins(15));
-        print!("{}\n", experiments::render_population(&curve));
+        println!("{}", experiments::render_population(&curve));
         let evening = experiments::fig5_population(
             &view,
             SimTime::from_hours(18),
@@ -60,17 +60,17 @@ fn main() {
             SimTime::from_mins(5),
         );
         println!("FIG5b evening zoom:");
-        print!("{}\n", experiments::render_population(&evening));
+        println!("{}", experiments::render_population(&evening));
     }
     if want("6") {
         // Peak-hours join cohort, as in the paper.
         let fig6 =
             experiments::fig6_startup(&view, SimTime::from_hours(18), SimTime::from_hours(22));
-        print!("{}\n", fig6.render());
+        println!("{}", fig6.render());
     }
     if want("7") {
         let periods = experiments::fig7_ready_by_period(&view);
-        print!("{}\n", experiments::render_fig7(&periods));
+        println!("{}", experiments::render_fig7(&periods));
     }
     if want("8") {
         let fig8 = experiments::fig8_continuity(
@@ -79,10 +79,10 @@ fn main() {
             day_end,
             SimTime::from_mins(15),
         );
-        print!("{}\n", fig8.render());
+        println!("{}", fig8.render());
     }
     if want("10") {
-        print!("{}\n", experiments::fig10_sessions(&view).render());
+        println!("{}", experiments::fig10_sessions(&view).render());
     }
 
     println!("protocol counters: {:#?}", w.stats);

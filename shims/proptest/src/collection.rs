@@ -1,0 +1,60 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use crate::{RangeValue, Strategy, TestRng};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = usize::sample(rng, self.size.start, self.size.end, false);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` of `element` values, length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeMap<K, V>` with a target size drawn from `size`
+/// (duplicate keys collapse, matching the real proptest's semantics of
+/// "up to" the drawn size).
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = usize::sample(rng, self.size.start, self.size.end, false);
+        (0..n)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+/// `BTreeMap` with keys/values from the given strategies.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size }
+}

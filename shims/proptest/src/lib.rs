@@ -1,0 +1,476 @@
+//! Offline stand-in for `proptest` (1.x API subset).
+//!
+//! Implements the surface this workspace's property tests use: the
+//! `proptest!` macro, `prop_assert*`, `prop_oneof!`, `Just`, `any`,
+//! range and string-pattern strategies, tuple composition, `prop_map`,
+//! `proptest::collection::{vec, btree_map}`, and
+//! `proptest::option::of`.
+//!
+//! Differences from the real engine, deliberately accepted:
+//! - no shrinking — a failing case reports its seed and values, which
+//!   is enough to reproduce deterministically;
+//! - cases are generated from a fixed per-test seed (hash of the test
+//!   path and case index), so runs are fully reproducible without a
+//!   persistence file. `PROPTEST_CASES` overrides the case count.
+
+use std::fmt;
+
+pub mod collection;
+pub mod option;
+mod pattern;
+
+// ---------------------------------------------------------------------
+// Deterministic RNG
+
+/// SplitMix64 step.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic generator driving all strategies in one test case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test at `test_path`
+    /// (`module_path!()::name`).
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut state = h ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+        // Decorrelate path/case structure.
+        splitmix64(&mut state);
+        TestRng { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure type
+
+/// A failed property-test case (returned by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Number of cases per property (env `PROPTEST_CASES` overrides).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+// ---------------------------------------------------------------------
+// Strategy core
+
+/// A recipe for generating values of one type.
+///
+/// Object safe: `prop_map` carries `where Self: Sized`.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// UFCS helper used by the `proptest!` macro so both owned strategies
+/// and `&'static str` literals work uniformly.
+pub fn generate_with<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// Box a strategy for heterogeneous storage (`prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from boxed arms; must be non-empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+
+/// Types with a whole-domain default strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.coin()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('?')
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range strategies
+
+/// Scalars that ranges can sample.
+pub trait RangeValue: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` / `[lo, hi]`.
+    fn sample(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = if inclusive { hi_w - lo_w + 1 } else { hi_w - lo_w };
+                assert!(span > 0, "empty range strategy");
+                (lo_w + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_value_float {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                let unit = rng.unit_f64() as $t;
+                let v = lo + unit * (hi - lo);
+                if v < lo { lo } else if v > hi { hi } else { v }
+            }
+        }
+    )*};
+}
+impl_range_value_float!(f32, f64);
+
+impl<T: RangeValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(rng, *self.start(), *self.end(), true)
+    }
+}
+
+// ---------------------------------------------------------------------
+// String pattern strategy
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuple strategies
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+// ---------------------------------------------------------------------
+// Macros
+
+/// Define property tests. Each argument is drawn from its strategy for
+/// [`case_count`] cases; `prop_assert*` failures report the case index.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        // `$meta` re-emits the caller's attributes, `#[test]` included
+        // (capturing it avoids the classic attr/repetition ambiguity).
+        $(#[$meta])*
+        fn $name() {
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..$crate::case_count() {
+                let mut __rng = $crate::TestRng::for_case(__path, __case);
+                $(let $arg = $crate::generate_with(&$strategy, &mut __rng);)+
+                let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = __result {
+                    panic!("property `{}` failed at case {}: {}", __path, __case, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a `proptest!` body; failure aborts only this case
+/// with a message instead of panicking the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with value diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, "{}: {:?} == {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// `prop_assert!(a != b)` with value diagnostics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, "{}: {:?} != {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// The glob import every test file uses.
+pub mod prelude {
+    pub use crate::{
+        any, boxed, generate_with, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof,
+        proptest, Any, Arbitrary, Just, OneOf, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro machinery itself: ranges, any, tuples, prop_map,
+        /// oneof, collections — all in one place.
+        #[test]
+        fn kitchen_sink(
+            a in 0u32..100,
+            b in any::<bool>(),
+            c in (0u64..10, 0.0f64..=1.0).prop_map(|(x, y)| x as f64 + y),
+            v in crate::collection::vec(0u16..50, 2..8),
+            o in crate::option::of(1i32..5),
+            s in "[a-c]{2,4}",
+        ) {
+            prop_assert!(a < 100);
+            let _ = b;
+            prop_assert!((0.0..11.0).contains(&c));
+            prop_assert!(v.len() >= 2 && v.len() < 8, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 50));
+            if let Some(x) = o {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|ch| ('a'..='c').contains(&ch)));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a + 1);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(xs in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8), Just(3u8)], 64..65)) {
+            prop_assert!(xs.iter().all(|&x| (1..=3).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x::y", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn btree_map_strategy_generates_in_size_range() {
+        let strat = crate::collection::btree_map("[a-z]{1,5}", 0u32..9, 0..6);
+        let mut rng = TestRng::for_case("map", 1);
+        for _ in 0..50 {
+            let m = strat.generate(&mut rng);
+            assert!(m.len() < 6);
+            assert!(m.values().all(|&v| v < 9));
+        }
+    }
+}

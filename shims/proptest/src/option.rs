@@ -1,0 +1,25 @@
+//! `proptest::option` subset.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Option<S::Value>`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        // Bias toward Some, like the real proptest (3:1).
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `None` sometimes, `Some(inner)` mostly.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

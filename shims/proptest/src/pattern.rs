@@ -1,0 +1,216 @@
+//! String generation from a small regex subset.
+//!
+//! Proptest treats `&str` strategies as regexes. This shim supports
+//! the subset the workspace uses — sequences of atoms (`.`, `[...]`
+//! character classes with ranges and escapes, literal characters) each
+//! with an optional quantifier (`{lo,hi}`, `{n}`, `?`, `*`, `+`) —
+//! and panics with a clear message on anything fancier, so a future
+//! test using an unsupported pattern fails loudly rather than subtly.
+
+use crate::TestRng;
+
+/// Characters `.` draws from: printable ASCII plus a few multibyte
+/// codepoints and a newline, so "any char" tests see non-ASCII input.
+const ANY_ALPHABET: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '!', '"', '#', '%', '&', '\'', '(', ')', '*', '+', ',',
+    '-', '.', '/', ':', ';', '<', '=', '>', '?', '@', '[', '\\', ']', '^', '_', '`', '{', '|', '}',
+    '~', 'é', 'λ', '中', '🦀', '\n', '\u{0}', '\u{7f}',
+];
+
+enum Atom {
+    /// Draw from an explicit set of chars.
+    Class(Vec<char>),
+    /// Draw from [`ANY_ALPHABET`].
+    Any,
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min + 1) as u64;
+        let n = piece.min + rng.below(span) as u32;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Any => out.push(ANY_ALPHABET[rng.below(ANY_ALPHABET.len() as u64) as usize]),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash"));
+                i += 1;
+                Atom::Class(vec![unescape(c)])
+            }
+            '(' | ')' | '|' | '^' | '$' => unsupported(pattern, "groups/alternation/anchors"),
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        unsupported(pattern, "negated character classes");
+    }
+    while let Some(&c) = chars.get(i) {
+        match c {
+            ']' => return (set, i + 1),
+            '\\' => {
+                i += 1;
+                let esc = *chars
+                    .get(i)
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash in class"));
+                set.push(unescape(esc));
+                i += 1;
+            }
+            lo => {
+                // Range `lo-hi` (a `-` before `]` is a literal).
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&h| h != ']') {
+                    let hi = chars[i + 2];
+                    assert!(lo <= hi, "bad class range {lo}-{hi} in {pattern:?}");
+                    for code in lo as u32..=hi as u32 {
+                        if let Some(ch) = char::from_u32(code) {
+                            set.push(ch);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    set.push(lo);
+                    i += 1;
+                }
+            }
+        }
+    }
+    unsupported(pattern, "unterminated character class")
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| unsupported(pattern, "unterminated {} quantifier"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "bad quantifier {{{body}}} in {pattern:?}");
+            (min, max, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!("proptest shim: unsupported regex feature ({what}) in pattern {pattern:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::for_case("pat", 0);
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escaped_newline() {
+        let mut rng = TestRng::for_case("pat", 1);
+        let mut saw_newline = false;
+        for _ in 0..500 {
+            let s = generate("[ -~\\n]{0,50}", &mut rng);
+            saw_newline |= s.contains('\n');
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+        assert!(saw_newline, "newline never generated");
+    }
+
+    #[test]
+    fn dot_generates_non_ascii_sometimes() {
+        let mut rng = TestRng::for_case("pat", 2);
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let s = generate(".{0,30}", &mut rng);
+            saw_multibyte |= !s.is_ascii();
+            assert!(s.chars().count() <= 30);
+        }
+        assert!(saw_multibyte, "non-ascii never generated");
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        let mut rng = TestRng::for_case("pat", 3);
+        let s = generate("ab{3}c", &mut rng);
+        assert_eq!(s, "abbbc");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn alternation_panics_loudly() {
+        let mut rng = TestRng::for_case("pat", 4);
+        let _ = generate("a|b", &mut rng);
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace vendors a minimal implementation of exactly the surface it
+//! uses: [`RngCore`], [`SeedableRng`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), and [`seq::SliceRandom`]
+//! (`choose`, `shuffle`). Algorithms follow the upstream definitions
+//! closely enough for simulation use (multiply-shift bounded integers,
+//! 53-bit uniform floats, Fisher–Yates shuffle), but the exact output
+//! streams are NOT bit-compatible with upstream `rand` — determinism
+//! within this workspace is what matters, and all golden values are
+//! produced by this shim.
+
+use core::fmt;
+use core::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations. The shim's generators are
+/// infallible, so this is never constructed, but trait signatures need
+/// it.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; the shim never fails.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed material.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, zero-padding or truncating into the seed.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let bytes = state.to_le_bytes();
+        for (dst, src) in seed.as_mut().iter_mut().zip(bytes.iter().cycle()) {
+            *dst = *src;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that `Rng::gen` can produce.
+pub trait StandardSample: Sized {
+    /// Draw one value from the "standard" distribution (uniform over
+    /// the type's natural unit domain).
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly sampleable from a range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo_w = lo as u64;
+                let hi_w = hi as u64;
+                let span = if inclusive {
+                    hi_w.wrapping_sub(lo_w).wrapping_add(1)
+                } else {
+                    assert!(lo < hi, "empty range in gen_range");
+                    hi_w - lo_w
+                };
+                if span == 0 {
+                    // Inclusive full-width range: every word is valid.
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift bounded sampling (Lemire): negligible
+                // bias for simulation purposes, no rejection loop.
+                let x = rng.next_u64();
+                let v = ((x as u128 * span as u128) >> 64) as u64;
+                (lo_w + v) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo_w = lo as i64;
+                let hi_w = hi as i64;
+                let span = if inclusive {
+                    (hi_w.wrapping_sub(lo_w) as u64).wrapping_add(1)
+                } else {
+                    assert!(lo < hi, "empty range in gen_range");
+                    hi_w.wrapping_sub(lo_w) as u64
+                };
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let x = rng.next_u64();
+                let v = ((x as u128 * span as u128) >> 64) as u64;
+                lo_w.wrapping_add(v as i64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let unit = <$t as StandardSample>::standard_sample(rng);
+                let v = lo + unit * (hi - lo);
+                // Guard against rounding carrying us to/past `hi` on an
+                // exclusive range.
+                if !inclusive && v >= hi {
+                    // Largest representable value below hi.
+                    return <$t>::from_bits(hi.to_bits() - 1).max(lo);
+                }
+                v
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a single value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// Convenience extension over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform value of `T`'s natural domain (`f64` → `[0, 1)`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related random operations (`rand::seq` subset).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// `choose` / `shuffle` on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = rng.gen_range(0..self.len());
+                Some(&self[i])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..10_000 {
+            let a: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&a));
+            let b: usize = rng.gen_range(0..=5);
+            assert!(b <= 5);
+            let c: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&c));
+            let d: f64 = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_zero_one() {
+        let mut rng = Lcg(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Lcg(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct ByteRng([u8; 8]);
+        impl SeedableRng for ByteRng {
+            type Seed = [u8; 8];
+            fn from_seed(seed: [u8; 8]) -> Self {
+                ByteRng(seed)
+            }
+        }
+        let a = ByteRng::seed_from_u64(42);
+        let b = ByteRng::seed_from_u64(42);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.0, 42u64.to_le_bytes());
+    }
+}

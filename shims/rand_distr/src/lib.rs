@@ -1,0 +1,118 @@
+//! Offline stand-in for `rand_distr` (0.4 API subset): the
+//! [`Distribution`] trait and the [`LogNormal`] sampler, which are the
+//! only pieces this workspace uses. The normal deviate is produced by
+//! Box–Muller over the shim `rand`'s 53-bit uniforms, so samples are
+//! deterministic for a given generator state.
+
+use rand::{Rng, RngCore};
+
+/// Types that can produce samples of `T` given randomness.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Scale parameter (σ) was negative or non-finite.
+    BadVariance,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the mean and standard deviation of the
+    /// *underlying* normal distribution.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 || !mu.is_finite() {
+            return Err(Error::BadVariance);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+/// One standard-normal deviate via Box–Muller (cosine branch only, so
+/// each sample consumes exactly two uniforms).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: avoid ln(0).
+    let u1 = 1.0 - rng.gen::<f64>();
+    let u2 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let d = LogNormal::new(1.0, 0.0).unwrap();
+        let mut rng = Lcg(1);
+        for _ in 0..10 {
+            assert!((d.sample(&mut rng) - 1.0f64.exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_are_positive_with_sane_median() {
+        let d = LogNormal::new(2.0, 0.8).unwrap();
+        let mut rng = Lcg(7);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        assert!(
+            (median - 2.0f64.exp()).abs() < 0.5,
+            "median {median} vs {}",
+            2.0f64.exp()
+        );
+    }
+}

@@ -24,7 +24,12 @@ fn whole_pipeline_produces_every_figure() {
     assert!(fig3.inferred.values().sum::<usize>() > 100);
     assert!(fig3.top30_upload_share > 0.5);
 
-    let pop = fig5_population(&view, SimTime::ZERO, SimTime::from_mins(20), SimTime::from_mins(1));
+    let pop = fig5_population(
+        &view,
+        SimTime::ZERO,
+        SimTime::from_mins(20),
+        SimTime::from_mins(1),
+    );
     assert!(pop.iter().map(|(_, c)| *c).max().unwrap() > 50);
 
     let fig6 = fig6_startup(&view, SimTime::ZERO, SimTime::MAX);
@@ -63,7 +68,10 @@ fn end_to_end_determinism_across_full_pipeline() {
     let b = small_run(3);
     assert_eq!(a.world.log.to_text(), b.world.log.to_text());
     assert_eq!(a.world.stats.arrivals, b.world.stats.arrivals);
-    assert_eq!(a.world.stats.blocks_delivered, b.world.stats.blocks_delivered);
+    assert_eq!(
+        a.world.stats.blocks_delivered,
+        b.world.stats.blocks_delivered
+    );
     assert_eq!(a.world.snapshots.len(), b.world.snapshots.len());
     let c = small_run(4);
     assert_ne!(a.world.log.to_text(), c.world.log.to_text());

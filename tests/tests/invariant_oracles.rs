@@ -1,0 +1,190 @@
+//! The invariant-oracle regression harness: canonical scenarios run
+//! under the [`InvariantChecker`] with golden trace-hash snapshots.
+//!
+//! Each scenario must (a) finish with zero invariant violations and
+//! (b) reproduce the recorded trace hash exactly. A hash mismatch means
+//! the event sequence changed — either an intentional protocol change
+//! (regenerate the goldens) or an accidental determinism break.
+//!
+//! Regenerate goldens after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p cs-integration --test invariant_oracles
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Mutex;
+
+use coolstreaming::{RunOptions, Scenario};
+use cs_net::Bandwidth;
+use cs_proto::{finalize_sessions, CsWorld, Event, InvariantChecker};
+use cs_sim::{Engine, MultiObserver, SimTime, TraceHasher};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/trace_hashes.txt");
+
+/// Serializes golden-file rewrites when `UPDATE_GOLDEN=1` (tests run on
+/// parallel threads within one process).
+static GOLDEN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Compare `hash` against the golden entry `name`, or record it when
+/// `UPDATE_GOLDEN=1` is set.
+fn check_golden(name: &str, hash: u64) {
+    let _guard = GOLDEN_LOCK.lock().unwrap();
+    let text = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_default();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let mut lines: Vec<String> = text
+            .lines()
+            .filter(|l| l.starts_with('#') || l.split_whitespace().next() != Some(name))
+            .map(String::from)
+            .collect();
+        if lines.is_empty() {
+            lines.push(
+                "# Golden trace hashes. Regenerate: UPDATE_GOLDEN=1 cargo test -p cs-integration --test invariant_oracles"
+                    .into(),
+            );
+        }
+        lines.push(format!("{name} {hash:016x}"));
+        lines.sort_by_key(|l| !l.starts_with('#')); // comments first, then entries
+        std::fs::write(GOLDEN_PATH, lines.join("\n") + "\n").expect("write goldens");
+        return;
+    }
+    let want = text
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            let mut it = l.split_whitespace();
+            (it.next() == Some(name)).then(|| it.next().expect("hash column").to_string())
+        })
+        .unwrap_or_else(|| {
+            panic!("no golden entry {name:?} in {GOLDEN_PATH}; run with UPDATE_GOLDEN=1")
+        });
+    assert_eq!(
+        format!("{hash:016x}"),
+        want,
+        "trace hash for {name:?} diverged from the golden snapshot — \
+         if the event sequence changed intentionally, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+const FULL_CHECK: RunOptions = RunOptions {
+    check_invariants: true,
+    invariant_stride: 1,
+    trace_hash: true,
+};
+
+/// Steady state: constant arrivals and departures around equilibrium.
+#[test]
+fn steady_state_is_invariant_clean() {
+    let run = Scenario::steady(0.4)
+        .with_seed(301)
+        .with_window(SimTime::ZERO, SimTime::from_mins(6))
+        .run_observed(FULL_CHECK);
+    let chk = run.invariants.expect("checker requested");
+    assert!(chk.is_clean(), "{}", chk.report());
+    assert!(
+        chk.checks_run() > 1_000,
+        "checker barely ran: {}",
+        chk.checks_run()
+    );
+    assert!(run.artifacts.world.stats.arrivals > 50);
+    check_golden("steady_state", run.trace_hash.expect("hash requested"));
+}
+
+/// Flash crowd: the broadcast-evening arrival surge (§V.B), where
+/// partnership and sub-stream structure churn the hardest.
+#[test]
+fn flash_crowd_is_invariant_clean() {
+    let run = Scenario::event_day(0.004)
+        .with_seed(302)
+        .with_window(
+            SimTime::from_hours(19),
+            SimTime::from_hours(19) + SimTime::from_mins(10),
+        )
+        .run_observed(FULL_CHECK);
+    let chk = run.invariants.expect("checker requested");
+    assert!(chk.is_clean(), "{}", chk.report());
+    assert!(run.artifacts.world.stats.arrivals > 20, "no crowd arrived");
+    check_golden("flash_crowd", run.trace_hash.expect("hash requested"));
+}
+
+/// Server crash mid-run: children must repair onto other parents without
+/// the structural invariants ever breaking, even transiently.
+#[test]
+fn server_crash_is_invariant_clean() {
+    let scenario = Scenario::steady(0.4)
+        .with_seed(303)
+        .with_window(SimTime::ZERO, SimTime::from_mins(10))
+        .with_servers(2, Bandwidth::mbps(24));
+    let net = cs_net::Network::new(scenario.policy, scenario.latency, scenario.seed);
+    let mut world = CsWorld::new(
+        scenario.params,
+        net,
+        scenario.servers,
+        scenario.server_bw,
+        scenario.seed,
+    );
+    world.snapshot_interval = scenario.snapshot_interval;
+    let arrivals = scenario
+        .workload
+        .generate(scenario.seed, scenario.start, scenario.horizon);
+
+    let mut engine = Engine::new(world);
+    let checker = Rc::new(RefCell::new(InvariantChecker::new()));
+    let hasher = Rc::new(RefCell::new(TraceHasher::new(
+        Event::kind as fn(&Event) -> &'static str,
+    )));
+    let mut multi = MultiObserver::new();
+    multi.push(Box::new(Rc::clone(&checker)));
+    multi.push(Box::new(Rc::clone(&hasher)));
+    engine.set_observer(Box::new(multi));
+
+    for (t, e) in engine.world().initial_events() {
+        engine.schedule_at(t, e);
+    }
+    for (t, spec) in arrivals {
+        engine.schedule_at(t, Event::Arrive(spec));
+    }
+    engine.schedule_at(SimTime::from_mins(4), Event::CrashServer(0));
+    engine.run_until(scenario.horizon);
+    let end = engine.now();
+    engine.take_observer();
+    let mut world = engine.into_world();
+    checker.borrow_mut().check_world(end, &world);
+    finalize_sessions(&mut world);
+
+    assert!(
+        !world.net.is_alive(world.servers[0]),
+        "the crash never happened"
+    );
+    let chk = checker.borrow();
+    assert!(chk.is_clean(), "{}", chk.report());
+    // The crash event itself must be part of the hashed trace.
+    check_golden("server_crash", hasher.borrow().hash());
+}
+
+/// The same harness catches corruption: strip one side of a partnership
+/// in the final state and the oracle must flag it. Guards against the
+/// checker silently passing everything.
+#[test]
+fn harness_detects_planted_corruption() {
+    let run = Scenario::steady(0.4)
+        .with_seed(301)
+        .with_window(SimTime::ZERO, SimTime::from_mins(6))
+        .run_observed(RunOptions {
+            check_invariants: true,
+            invariant_stride: 1,
+            trace_hash: false,
+        });
+    let mut chk = run.invariants.expect("checker requested");
+    assert!(chk.is_clean());
+    // Re-validate a world whose accounting we break: lie about arrivals.
+    let mut world = run.artifacts.world;
+    world.stats.arrivals += 1;
+    chk.check_world(SimTime::from_mins(6), &world);
+    assert!(
+        !chk.is_clean(),
+        "oracle failed to flag a session-accounting mismatch"
+    );
+    assert!(chk.report().contains("session-count"), "{}", chk.report());
+}

@@ -138,7 +138,12 @@ fn reported_continuity_is_not_pessimistic() {
     }
     let mut true_due = 0u64;
     let mut true_missed = 0u64;
-    for r in artifacts.world.sessions.iter().filter(|r| r.class.is_user()) {
+    for r in artifacts
+        .world
+        .sessions
+        .iter()
+        .filter(|r| r.class.is_user())
+    {
         true_due += r.due;
         true_missed += r.missed;
     }

@@ -31,7 +31,11 @@ fn assert_invariants(world: &CsWorld, label: &str) {
                 .peer(q)
                 .map(|qp| qp.partners.contains_key(&info.id))
                 .unwrap_or(false);
-            assert!(back, "{label}: partnership {:?}→{:?} not symmetric", info.id, q);
+            assert!(
+                back,
+                "{label}: partnership {:?}→{:?} not symmetric",
+                info.id, q
+            );
             // Directions are complementary.
             let q_view_outgoing = world.peer(q).unwrap().partners[&info.id].outgoing;
             assert_ne!(
@@ -110,7 +114,12 @@ fn session_records_are_well_ordered() {
         .with_window(SimTime::ZERO, SimTime::from_mins(20))
         .run();
     let mut finished = 0;
-    for rec in artifacts.world.sessions.iter().filter(|r| r.class.is_user()) {
+    for rec in artifacts
+        .world
+        .sessions
+        .iter()
+        .filter(|r| r.class.is_user())
+    {
         if let Some(ss) = rec.start_sub {
             assert!(ss >= rec.join, "start_sub before join: {rec:?}");
         }
@@ -151,7 +160,10 @@ fn upload_accounting_balances() {
         .run();
     let up: u64 = artifacts.world.sessions.iter().map(|r| r.up_bytes).sum();
     let down: u64 = artifacts.world.sessions.iter().map(|r| r.down_bytes).sum();
-    assert_eq!(up, down, "every uploaded byte must be downloaded by someone");
+    assert_eq!(
+        up, down,
+        "every uploaded byte must be downloaded by someone"
+    );
     let blocks = artifacts.world.stats.blocks_delivered;
     assert_eq!(
         up,

@@ -23,8 +23,7 @@ fn steady_population_reaches_littles_law_level() {
         SimTime::from_mins(40),
         SimTime::from_mins(1),
     );
-    let mean_pop =
-        curve.iter().map(|(_, c)| *c as f64).sum::<f64>() / curve.len() as f64;
+    let mean_pop = curve.iter().map(|(_, c)| *c as f64).sum::<f64>() / curve.len() as f64;
     // E[duration] of the default session model ≈ 20–30 minutes, but the
     // 40-minute window truncates it; population should be a few hundred.
     assert!(
@@ -74,9 +73,7 @@ fn program_end_causes_mass_departure() {
     let leaves_in = |h0: f64, h1: f64| {
         view.sessions
             .iter()
-            .filter(|s| {
-                matches!(s.leave, Some(l) if l.hour_of_day() >= h0 && l.hour_of_day() < h1)
-            })
+            .filter(|s| matches!(s.leave, Some(l) if l.hour_of_day() >= h0 && l.hour_of_day() < h1))
             .count()
     };
     // End-aligned leaves land in a burst right at 22:00; compare
@@ -116,7 +113,12 @@ fn retry_sessions_share_user_identity_and_increment_index() {
     let artifacts = scenario.run();
     let mut by_user: std::collections::BTreeMap<u32, Vec<&cs_proto::SessionRecord>> =
         Default::default();
-    for r in artifacts.world.sessions.iter().filter(|r| r.class.is_user()) {
+    for r in artifacts
+        .world
+        .sessions
+        .iter()
+        .filter(|r| r.class.is_user())
+    {
         by_user.entry(r.user.0).or_default().push(r);
     }
     let mut saw_retry = false;
