@@ -15,6 +15,7 @@
 //! By design this crate never touches simulator ground truth: it sees the
 //! system exactly the way the paper's authors saw theirs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod lorenz;

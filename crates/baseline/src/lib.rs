@@ -12,6 +12,7 @@
 //! subtrees; striping bounds the damage to `1/K`; the mesh's per-block
 //! multi-parent pull avoids most of it.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod tree;

@@ -391,7 +391,7 @@ impl TreeWorld {
         let interior = (reachable && slots > 0).then(|| {
             let stripe = (0..k as usize)
                 .min_by_key(|&i| self.stripe_slots[i])
-                .expect("k ≥ 1") as u32;
+                .unwrap_or(0) as u32;
             self.stripe_slots[stripe as usize] += slots;
             stripe
         });

@@ -9,6 +9,8 @@
 //!    `cargo bench` loudly,
 //! 4. hand a cheap, representative kernel to Criterion for timing.
 
+#![forbid(unsafe_code)]
+
 use coolstreaming::{RunArtifacts, Scenario};
 use cs_sim::SimTime;
 

@@ -15,6 +15,8 @@
 //! `log.txt` — the measurement-study workflow without re-simulating.
 //! `config` prints a scenario JSON to stdout for editing.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod output;
 

@@ -31,6 +31,7 @@
 //! analytics), plus [`cs_model`] (§IV closed forms) and [`cs_baseline`]
 //! (tree-multicast comparators).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channels;

@@ -210,10 +210,12 @@ impl Scenario {
                 run_stats,
             },
             trace_hash: hasher.map(|h| h.borrow().hash()),
-            invariants: checker.map(|c| {
-                Rc::try_unwrap(c)
-                    .unwrap_or_else(|_| panic!("engine handle dropped"))
-                    .into_inner()
+            invariants: checker.map(|c| match Rc::try_unwrap(c) {
+                Ok(cell) => cell.into_inner(),
+                // The engine was consumed above, so this should be the
+                // sole handle; if a clone ever survives, report from a
+                // snapshot of its state rather than aborting the run.
+                Err(rc) => InvariantChecker::clone(&rc.borrow()),
             }),
         }
     }

@@ -1,0 +1,217 @@
+//! # cs-lint — workspace-wide determinism & protocol-safety static analyzer
+//!
+//! The paper reproduction in this workspace is only trustworthy if a run
+//! is a pure function of `(configuration, seed)`: golden trace hashes
+//! catch nondeterminism *after* it ships, `cs-lint` stops it at the
+//! source level. It walks every `.rs` file under `crates/` with a small
+//! comment/string-aware lexer (no `syn`; the shim set is offline-only)
+//! and enforces project-specific rules with per-crate scoping:
+//!
+//! | id | slug                | what it rejects |
+//! |----|---------------------|-----------------|
+//! | D1 | `det-collections`   | `HashMap`/`HashSet` in deterministic crates |
+//! | D2 | `ambient-entropy`   | `Instant::now`, `SystemTime`, `thread_rng`, `rand::random` |
+//! | C1 | `float-eq`          | float `==` / `!=` comparisons |
+//! | C2 | `lossy-cast`        | lossy `as` numeric casts in `cs-proto`/`cs-model` |
+//! | C3 | `panic-in-lib`      | `unwrap`/`expect`/`panic!`-family in library code |
+//! | S1 | `forbid-unsafe`     | crate roots missing `#![forbid(unsafe_code)]` |
+//!
+//! Test code (`#[cfg(test)]` items, `tests/`, `benches/`, `examples/`)
+//! is exempt. Individual sites are waived with an inline escape that
+//! *must* carry a reason:
+//!
+//! ```text
+//! let i = (n % k) as u32; // cs-lint: allow(lossy-cast) — n % k < k which is u32
+//! ```
+//!
+//! See DESIGN.md §7 for the full rule rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{Config, FileCtx, Finding, RuleId};
+
+/// Lint a single source string as if it were `rel_path` inside
+/// `crate_name`. This is the entry point fixture tests use.
+pub fn lint_source(
+    crate_name: &str,
+    rel_path: &str,
+    is_crate_root: bool,
+    src: &str,
+) -> Vec<Finding> {
+    lint_source_with(crate_name, rel_path, is_crate_root, src, &Config::default())
+}
+
+/// [`lint_source`] with an explicit [`Config`].
+pub fn lint_source_with(
+    crate_name: &str,
+    rel_path: &str,
+    is_crate_root: bool,
+    src: &str,
+    cfg: &Config,
+) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let mask = lexer::test_mask(&lexed.tokens);
+    let ctx = FileCtx {
+        crate_name,
+        rel_path,
+        is_crate_root,
+    };
+    rules::lint_tokens(&ctx, &lexed, &mask, cfg)
+}
+
+/// Walk `<root>/crates/**` and lint every non-test `.rs` file. Findings
+/// come back sorted by `(file, line, rule)` so output is deterministic.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory; pass the workspace root",
+            root.display()
+        ));
+    }
+    let mut findings: Vec<Finding> = Vec::new();
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let crate_name = file_name_of(&crate_dir);
+        let mut files: Vec<PathBuf> = Vec::new();
+        collect_rs_files(&crate_dir, &mut files)?;
+        files.sort();
+        for f in files {
+            if is_test_context(&f, &crate_dir) {
+                continue;
+            }
+            let rel = rel_display(&f, root);
+            let src = fs::read_to_string(&f)
+                .map_err(|e| format!("failed to read {}: {e}", f.display()))?;
+            let is_root = {
+                let r = f
+                    .strip_prefix(&crate_dir)
+                    .map(|p| p.to_string_lossy().replace('\\', "/"))
+                    .unwrap_or_default();
+                r == "src/lib.rs" || r == "src/main.rs"
+            };
+            findings.extend(lint_source_with(&crate_name, &rel, is_root, &src, cfg));
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Subdirectories of `dir`, sorted by name for deterministic traversal.
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    let mut out: Vec<PathBuf> = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+        let p = entry.path();
+        if p.is_dir() {
+            out.push(p);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+        let p = entry.path();
+        if p.is_dir() {
+            // `target/` never nests under crates/, but be safe.
+            if file_name_of(&p) != "target" {
+                collect_rs_files(&p, out)?;
+            }
+        } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Is this file test-context (exempt from all content rules)?
+fn is_test_context(file: &Path, crate_dir: &Path) -> bool {
+    let rel = file
+        .strip_prefix(crate_dir)
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .unwrap_or_default();
+    rel.starts_with("tests/") || rel.starts_with("benches/") || rel.starts_with("examples/")
+}
+
+fn file_name_of(p: &Path) -> String {
+    p.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn rel_display(p: &Path, root: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Render findings as JSON (stable field order, findings pre-sorted).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"slug\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule.id(),
+            f.rule.slug(),
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        let f = vec![Finding {
+            file: "a\"b.rs".to_string(),
+            line: 3,
+            rule: RuleId::D1,
+            message: "x\ny".to_string(),
+        }];
+        let j = to_json(&f);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("x\\ny"));
+        assert!(j.contains("\"count\": 1"));
+    }
+}

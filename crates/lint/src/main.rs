@@ -1,0 +1,147 @@
+//! `cs-lint` CLI: lint the workspace, print findings, gate CI.
+//!
+//! ```text
+//! cs-lint [ROOT] [--format text|json] [--deny] [--list-rules]
+//! ```
+//!
+//! Exit status is 0 unless `--deny` is given and findings exist (or the
+//! workspace cannot be read). `ROOT` defaults to the nearest ancestor of
+//! the current directory containing `crates/` (so both `cargo run -p
+//! cs-lint` from the root and invocations from a crate dir work).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cs_lint::{lint_workspace, to_json, Config, RuleId};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        deny: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "cs-lint [ROOT] [--format text|json] [--deny] [--list-rules]\n\
+                     Workspace determinism & protocol-safety lints; see DESIGN.md §7."
+                );
+                std::process::exit(0);
+            }
+            _ if a.starts_with('-') => return Err(format!("unknown flag {a}")),
+            _ => args.root = Some(PathBuf::from(a)),
+        }
+    }
+    Ok(args)
+}
+
+/// Find the workspace root: walk up from cwd until a `crates/` dir shows up.
+fn discover_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no ancestor directory contains crates/; pass ROOT explicitly".to_string());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        println!("id  slug                    scope");
+        println!(
+            "D1  det-collections         deterministic crates (proto, sim, core, net, workload)"
+        );
+        println!("D2  ambient-entropy         all crates except crates/sim/src/rng.rs");
+        println!("C1  float-eq                all crates");
+        println!("C2  lossy-cast              proto, model");
+        println!("C3  panic-in-lib            library crates (all but cli, bench)");
+        println!("S1  forbid-unsafe           every crate root (src/lib.rs, src/main.rs)");
+        println!("E1  escape-missing-reason   escape comments themselves");
+        println!("E2  escape-unknown-rule     escape comments themselves");
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.map(Ok).unwrap_or_else(discover_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match lint_workspace(&root, &Config::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", to_json(&findings));
+    } else {
+        let severity = if args.deny { "error" } else { "warning" };
+        for f in &findings {
+            println!(
+                "{}:{}: {severity}[{}]: {} ({})",
+                f.file,
+                f.line,
+                f.rule.id(),
+                f.message,
+                f.rule.slug()
+            );
+        }
+        let escapable = findings
+            .iter()
+            .filter(|f| !matches!(f.rule, RuleId::E1 | RuleId::E2))
+            .count();
+        eprintln!(
+            "cs-lint: {} finding(s) ({} rule, {} escape-syntax) in {}",
+            findings.len(),
+            escapable,
+            findings.len() - escapable,
+            root.display()
+        );
+    }
+
+    if args.deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

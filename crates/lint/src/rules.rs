@@ -1,0 +1,506 @@
+//! The cs-lint rule set.
+//!
+//! Every rule is a pure function over a [`FileCtx`] — the lexed token
+//! stream of one file plus crate/path metadata — pushing [`Finding`]s.
+//! Scoping (which crates a rule applies to) lives in [`Config`], and the
+//! `#[cfg(test)]` exemption plus allow-escape filtering are applied
+//! centrally in [`lint_tokens`].
+
+use crate::lexer::{AllowEscape, Lexed, Tok, TokKind};
+
+/// Rule identifiers. `E1`/`E2` are meta-rules about the escape syntax
+/// itself (missing reason, unknown rule slug).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Nondeterministic hash collections in deterministic crates.
+    D1,
+    /// Wall-clock time or ambient randomness.
+    D2,
+    /// Float `==` / `!=` comparison.
+    C1,
+    /// Potentially lossy `as` numeric cast.
+    C2,
+    /// `unwrap`/`expect`/`panic!` in library code.
+    C3,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    S1,
+    /// Allow-escape comment without a reason.
+    E1,
+    /// Allow-escape comment naming an unknown rule.
+    E2,
+}
+
+impl RuleId {
+    /// Short id (`D1`).
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::C1 => "C1",
+            RuleId::C2 => "C2",
+            RuleId::C3 => "C3",
+            RuleId::S1 => "S1",
+            RuleId::E1 => "E1",
+            RuleId::E2 => "E2",
+        }
+    }
+
+    /// Human slug, also the rule name used inside an `allow(...)` escape.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::D1 => "det-collections",
+            RuleId::D2 => "ambient-entropy",
+            RuleId::C1 => "float-eq",
+            RuleId::C2 => "lossy-cast",
+            RuleId::C3 => "panic-in-lib",
+            RuleId::S1 => "forbid-unsafe",
+            RuleId::E1 => "escape-missing-reason",
+            RuleId::E2 => "escape-unknown-rule",
+        }
+    }
+
+    /// All escapable rules (meta-rules cannot be escaped).
+    pub fn escapable() -> &'static [RuleId] {
+        &[
+            RuleId::D1,
+            RuleId::D2,
+            RuleId::C1,
+            RuleId::C2,
+            RuleId::C3,
+            RuleId::S1,
+        ]
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Per-workspace rule scoping.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crate *directory names* (under `crates/`) whose behaviour must be a
+    /// pure function of `(configuration, seed)`: D1 applies here.
+    pub det_crates: Vec<String>,
+    /// Crates whose arithmetic is audited for lossy casts (C2).
+    pub cast_crates: Vec<String>,
+    /// Crates exempt from C3 (binary / harness crates, not library code).
+    pub panic_exempt_crates: Vec<String>,
+    /// Files exempt from D2 (the one sanctioned entropy source).
+    pub entropy_files: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            det_crates: ["proto", "sim", "core", "net", "workload"]
+                .map(String::from)
+                .to_vec(),
+            cast_crates: ["proto", "model"].map(String::from).to_vec(),
+            panic_exempt_crates: ["cli", "bench"].map(String::from).to_vec(),
+            entropy_files: vec!["crates/sim/src/rng.rs".to_string()],
+        }
+    }
+}
+
+/// Metadata for one file being linted.
+pub struct FileCtx<'a> {
+    /// Crate directory name under `crates/` (e.g. `proto`).
+    pub crate_name: &'a str,
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// True for crate root files (`src/lib.rs`, `src/main.rs`).
+    pub is_crate_root: bool,
+}
+
+/// Integer-ish cast targets whose range is narrower than the workspace's
+/// canonical working widths (`u64` block counts, 64-bit `usize` lengths,
+/// `f64` rates) — a cast *into* these from an unknown source is flagged.
+const NARROW_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// All numeric cast targets C2 inspects.
+const NUMERIC_TARGETS: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+const INT_TARGETS: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Lint one file's token stream. Applies all content rules in scope for
+/// the crate, the `#[cfg(test)]` mask, and allow-escape filtering.
+pub fn lint_tokens(ctx: &FileCtx<'_>, lexed: &Lexed, mask: &[bool], cfg: &Config) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut raw: Vec<Finding> = Vec::new();
+    let push = |raw: &mut Vec<Finding>, line: u32, rule: RuleId, message: String| {
+        raw.push(Finding {
+            file: ctx.rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    let det = cfg.det_crates.iter().any(|c| c == ctx.crate_name);
+    let cast = cfg.cast_crates.iter().any(|c| c == ctx.crate_name);
+    let panic_ok = cfg.panic_exempt_crates.iter().any(|c| c == ctx.crate_name);
+    let entropy_ok = cfg.entropy_files.iter().any(|f| f == ctx.rel_path);
+
+    for i in 0..toks.len() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+
+        // D1 — nondeterministic collections in deterministic crates.
+        if det && t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            let alt = if t.text == "HashMap" {
+                "BTreeMap (or cs-sim's DetMap)"
+            } else {
+                "BTreeSet (or cs-sim's DetSet)"
+            };
+            push(
+                &mut raw,
+                t.line,
+                RuleId::D1,
+                format!(
+                    "`{}` iteration order is nondeterministic; use {} in deterministic crates",
+                    t.text, alt
+                ),
+            );
+        }
+
+        // D2 — wall-clock time / ambient randomness.
+        if !entropy_ok && t.kind == TokKind::Ident {
+            let hit = match t.text.as_str() {
+                "SystemTime" => Some("`SystemTime` reads the wall clock"),
+                "thread_rng" => Some("`thread_rng` is ambient, unseeded randomness"),
+                "Instant"
+                    if matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+                        && matches!(toks.get(i + 2), Some(n) if n.is_ident("now")) =>
+                {
+                    Some("`Instant::now` reads the wall clock")
+                }
+                "random"
+                    if i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident("rand") =>
+                {
+                    Some("`rand::random` is ambient, unseeded randomness")
+                }
+                _ => None,
+            };
+            if let Some(what) = hit {
+                push(
+                    &mut raw,
+                    t.line,
+                    RuleId::D2,
+                    format!("{what}; derive all time/randomness from SimTime and the seeded RNG"),
+                );
+            }
+        }
+
+        // C1 — float equality.
+        if t.is_punct("==") || t.is_punct("!=") {
+            let float_ish = |tok: &Tok| -> bool {
+                tok.kind == TokKind::Float
+                    || (tok.kind == TokKind::Ident
+                        && matches!(
+                            tok.text.as_str(),
+                            "f32" | "f64" | "NAN" | "INFINITY" | "NEG_INFINITY"
+                        ))
+            };
+            // Look one token back, and forward skipping `(` and unary `-`.
+            let prev_hit = i >= 1 && float_ish(&toks[i - 1]);
+            let mut j = i + 1;
+            while j < toks.len() && (toks[j].is_punct("(") || toks[j].is_punct("-")) {
+                j += 1;
+            }
+            let next_hit = j < toks.len() && float_ish(&toks[j]);
+            if prev_hit || next_hit {
+                push(
+                    &mut raw,
+                    t.line,
+                    RuleId::C1,
+                    format!(
+                        "float `{}` comparison; compare with an explicit tolerance or restructure",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // C2 — lossy numeric `as` casts.
+        if cast && t.is_ident("as") {
+            if let Some(target) = toks
+                .get(i + 1)
+                .filter(|n| n.kind == TokKind::Ident && NUMERIC_TARGETS.contains(&n.text.as_str()))
+            {
+                let tgt = target.text.as_str();
+                let verdict = cast_verdict(toks, i, tgt);
+                if let Some(why) = verdict {
+                    push(
+                        &mut raw,
+                        t.line,
+                        RuleId::C2,
+                        format!(
+                            "{why} in `as {tgt}` cast; use `From`/`TryFrom` or escape with \
+                             `// cs-lint: allow(lossy-cast) — <why safe>`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // C3 — panics in library code.
+        if !panic_ok && t.kind == TokKind::Ident {
+            let method_call = |name: &str| -> bool {
+                t.text == name
+                    && i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            };
+            let bang_macro = |name: &str| -> bool {
+                t.text == name && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+            };
+            let hit = if method_call("unwrap") || method_call("expect") {
+                Some(format!("`.{}()` can panic", t.text))
+            } else if bang_macro("panic")
+                || bang_macro("unreachable")
+                || bang_macro("todo")
+                || bang_macro("unimplemented")
+            {
+                Some(format!("`{}!` aborts the simulation", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                push(
+                    &mut raw,
+                    t.line,
+                    RuleId::C3,
+                    format!(
+                        "{what}; return an error/default, or escape with a proof of unreachability"
+                    ),
+                );
+            }
+        }
+    }
+
+    // S1 — crate roots must forbid unsafe code.
+    if ctx.is_crate_root && !has_forbid_unsafe(toks) {
+        push(
+            &mut raw,
+            1,
+            RuleId::S1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+
+    apply_escapes(raw, &lexed.escapes, ctx.rel_path)
+}
+
+/// Decide whether the cast ending at `toks[as_ix]` (`as` keyword) into
+/// `tgt` is potentially lossy. Returns `Some(reason)` to flag.
+///
+/// Judgement is token-local (no type inference):
+/// * integer literal sources are value-checked against the target range;
+/// * float literal sources are lossy into integer targets;
+/// * `.floor()/.ceil()/.round()/.trunc()` sources into integers are
+///   explicit truncations — flagged so the range argument gets written
+///   down in an escape;
+/// * any other source is flagged only for *narrow* targets
+///   (`u8..=u32`, `i8..=i32`, `f32`); the workspace's canonical working
+///   types (`u32`/`u64`/64-bit `usize`) widen losslessly into the rest.
+fn cast_verdict(toks: &[Tok], as_ix: usize, tgt: &str) -> Option<String> {
+    if as_ix == 0 {
+        return None;
+    }
+    let src = &toks[as_ix - 1];
+    match src.kind {
+        TokKind::Int => {
+            let neg = as_ix >= 2 && toks[as_ix - 2].is_punct("-");
+            match int_literal_fits(&src.text, neg, tgt) {
+                Some(true) => None,
+                Some(false) => Some(format!("literal `{}` does not fit", src.text)),
+                None => Some(format!("unparseable literal `{}`", src.text)),
+            }
+        }
+        TokKind::Float => {
+            if INT_TARGETS.contains(&tgt) {
+                Some("float literal truncated".to_string())
+            } else {
+                None
+            }
+        }
+        TokKind::Punct if src.text == ")" => {
+            // `.floor() as u64` style explicit-rounding chain?
+            let rounding = as_ix >= 4
+                && toks[as_ix - 2].is_punct("(")
+                && toks[as_ix - 4].is_punct(".")
+                && matches!(
+                    toks[as_ix - 3].text.as_str(),
+                    "floor" | "ceil" | "round" | "trunc"
+                )
+                && toks[as_ix - 3].kind == TokKind::Ident;
+            if rounding && INT_TARGETS.contains(&tgt) {
+                Some(format!(
+                    "float→`{tgt}` truncation after `.{}()`",
+                    toks[as_ix - 3].text
+                ))
+            } else if NARROW_TARGETS.contains(&tgt) {
+                Some("possible narrowing".to_string())
+            } else {
+                None
+            }
+        }
+        _ => {
+            if NARROW_TARGETS.contains(&tgt) {
+                Some("possible narrowing".to_string())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Does `lit` (Rust integer literal text, optional suffix/underscores,
+/// optionally negated) fit in the numeric type `tgt`? 64-bit `usize`
+/// assumed (declared workspace-wide in DESIGN.md §7).
+fn int_literal_fits(lit: &str, neg: bool, tgt: &str) -> Option<bool> {
+    let cleaned: String = lit.chars().filter(|&c| c != '_').collect();
+    // Take the leading digit run; anything after is a type suffix. (A
+    // suffix like `u64` contains digits, so trimming from the end would
+    // eat into it — scan from the front instead.)
+    let (rest, radix): (&str, u32) = if let Some(r) = cleaned.strip_prefix("0x") {
+        (r, 16)
+    } else if let Some(r) = cleaned.strip_prefix("0o") {
+        (r, 8)
+    } else if let Some(r) = cleaned.strip_prefix("0b") {
+        (r, 2)
+    } else {
+        (cleaned.as_str(), 10)
+    };
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    let v = u128::from_str_radix(&rest[..end], radix).ok()?;
+    let fits = if neg {
+        let min_abs: u128 = match tgt {
+            "i8" => 128,
+            "i16" => 32768,
+            "i32" => 1 << 31,
+            "i64" | "isize" => 1 << 63,
+            "i128" => 1 << 127,
+            "f32" => 1 << 24,
+            "f64" => 1 << 53,
+            _ => 0, // negative into unsigned never fits
+        };
+        v <= min_abs
+    } else {
+        let max: u128 = match tgt {
+            "u8" => u8::MAX as u128,
+            "u16" => u16::MAX as u128,
+            "u32" => u32::MAX as u128,
+            "u64" | "usize" => u64::MAX as u128,
+            "u128" => u128::MAX,
+            "i8" => i8::MAX as u128,
+            "i16" => i16::MAX as u128,
+            "i32" => i32::MAX as u128,
+            "i64" | "isize" => i64::MAX as u128,
+            "i128" => i128::MAX as u128,
+            "f32" => 1 << 24,
+            "f64" => 1 << 53,
+            _ => return None,
+        };
+        v <= max
+    };
+    Some(fits)
+}
+
+/// Token-level check for `#![forbid(unsafe_code)]` anywhere in the file.
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.iter().enumerate().any(|(i, t)| {
+        t.is_ident("forbid")
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            && toks[i + 1..]
+                .iter()
+                .take_while(|n| !n.is_punct(")"))
+                .any(|n| n.is_ident("unsafe_code"))
+    })
+}
+
+/// Filter findings through the allow-escapes and emit meta-findings for
+/// malformed escapes. An escape on line `L` covers findings of its rule on
+/// lines `L` (trailing comment) and `L + 1` (comment-above style).
+fn apply_escapes(raw: Vec<Finding>, escapes: &[AllowEscape], rel_path: &str) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+    let known = |slug: &str| RuleId::escapable().iter().any(|r| r.slug() == slug);
+
+    for e in escapes {
+        if !known(&e.slug) {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: e.line,
+                rule: RuleId::E2,
+                message: format!(
+                    "escape names unknown rule `{}`; one of: {}",
+                    e.slug,
+                    RuleId::escapable()
+                        .iter()
+                        .map(|r| r.slug())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        } else if !e.has_reason {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: e.line,
+                rule: RuleId::E1,
+                message: format!(
+                    "escape for `{}` has no reason; write `// cs-lint: allow({}) — <why safe>`",
+                    e.slug, e.slug
+                ),
+            });
+        }
+    }
+
+    for f in raw {
+        let suppressed = escapes.iter().any(|e| {
+            e.has_reason && e.slug == f.rule.slug() && (e.line == f.line || e.line + 1 == f.line)
+        });
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_fit_checks() {
+        assert_eq!(int_literal_fits("255", false, "u8"), Some(true));
+        assert_eq!(int_literal_fits("256", false, "u8"), Some(false));
+        assert_eq!(int_literal_fits("0xff", false, "u8"), Some(true));
+        assert_eq!(int_literal_fits("1_000", false, "u16"), Some(true));
+        assert_eq!(int_literal_fits("40", false, "i8"), Some(true));
+        assert_eq!(int_literal_fits("200", false, "i8"), Some(false));
+        assert_eq!(int_literal_fits("1", true, "u32"), Some(false));
+        assert_eq!(int_literal_fits("128", true, "i8"), Some(true));
+        assert_eq!(int_literal_fits("300u64", false, "u64"), Some(true));
+    }
+}

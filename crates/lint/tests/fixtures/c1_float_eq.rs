@@ -1,0 +1,10 @@
+// Fixture: C1 float-eq.
+fn compare(x: f64, y: f64, n: u64) -> bool {
+    let a = x == 0.0;
+    let b = 0.5 != y;
+    let c = x as f64 == y;
+    let d = x == -1.5;
+    let int_eq_is_fine = n == 0;
+    let threshold_is_fine = (x - y).abs() < 1e-9;
+    a && b && c && d && int_eq_is_fine && threshold_is_fine
+}

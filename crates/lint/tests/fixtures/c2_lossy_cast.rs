@@ -1,0 +1,12 @@
+// Fixture: C2 lossy-cast. Linted as crate `proto` (cast-audited).
+fn casts(n: u64, len: usize, rate: f64) -> u64 {
+    let a = n as u32;
+    let b = 300 as u8;
+    let c = 1.5 as u64;
+    let d = rate.floor() as u64;
+    let widening_is_fine = len as u64;
+    let fitting_literal_is_fine = 255 as u8;
+    let float_target_is_fine = n as f64;
+    a as u64 + b as u64 + c + d + widening_is_fine + fitting_literal_is_fine as u64
+        + float_target_is_fine as u64
+}

@@ -1,0 +1,14 @@
+// Fixture: C3 panic-in-lib.
+fn lookups(v: Vec<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.first().copied().unwrap();
+    let b = r.expect("must be ok");
+    if a > b {
+        panic!("a exceeded b");
+    }
+    match a {
+        0 => unreachable!(),
+        _ => {}
+    }
+    let unwrap_or_is_fine = v.first().copied().unwrap_or(0);
+    a + b + unwrap_or_is_fine
+}

@@ -1,0 +1,30 @@
+// Fixture: #[cfg(test)] exemption. Linted as crate `proto`.
+use std::collections::BTreeMap;
+
+fn library_code(v: Vec<u32>) -> u32 {
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u64);
+        assert!(m.get(&1).copied().unwrap() == 2);
+        let x: f64 = 0.0;
+        assert!(x == 0.0);
+    }
+}
+
+#[test]
+fn bare_test_attr_is_exempt() {
+    let v: Vec<u32> = Vec::new();
+    let _ = v.first().copied().unwrap_or_else(|| panic!("empty"));
+}
+
+fn after_the_test_mod(v: Vec<u32>) -> u32 {
+    v.first().copied().expect("non-empty")
+}

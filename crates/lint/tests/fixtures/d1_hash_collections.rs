@@ -1,0 +1,14 @@
+// Fixture: D1 det-collections. Linted as crate `proto` (deterministic).
+use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+struct State {
+    index: HashMap<u32, u64>,
+    ordered: BTreeMap<u32, u64>,
+}
+
+fn build() -> std::collections::HashSet<u32> {
+    // The word HashMap in a comment is fine, and so is "HashMap" in a string.
+    let _label = "HashMap";
+    std::collections::HashSet::new()
+}

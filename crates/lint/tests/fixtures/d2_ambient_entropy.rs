@@ -1,0 +1,21 @@
+// Fixture: D2 ambient-entropy.
+use std::time::Instant;
+
+fn timing() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros()
+}
+
+fn wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn entropy() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _coin: bool = rand::random();
+    0.5
+}
+
+fn seeded_is_fine(rng: &mut impl rand::Rng) -> u32 {
+    rng.gen_range(0..10)
+}

@@ -1,0 +1,9 @@
+// Fixture: allow-escape handling. Linted as crate `proto`.
+fn escapes(n: u64, x: f64) -> u32 {
+    let trailing = n as u32; // cs-lint: allow(lossy-cast) — n is always < 2^16 here
+    // cs-lint: allow(float-eq) — exact sentinel comparison against the initializer
+    let above = x == 0.0;
+    let no_reason = n as u32; // cs-lint: allow(lossy-cast)
+    let unknown = n as u32; // cs-lint: allow(no-such-rule) — misspelled
+    trailing + no_reason + unknown + u32::from(above)
+}

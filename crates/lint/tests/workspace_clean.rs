@@ -1,0 +1,25 @@
+//! The workspace itself must lint clean: every D1/D2/C1/C2/C3/S1 finding in
+//! `crates/` is either fixed or carries a reasoned allow-escape. This is the
+//! same check CI runs via `cargo run -p cs-lint -- --deny`.
+
+use std::path::Path;
+
+use cs_lint::{lint_workspace, Config};
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let findings = lint_workspace(root, &Config::default()).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "workspace must be lint-clean; run `cargo run -p cs-lint` to see:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {}:{}: {}: {}", f.file, f.line, f.rule.id(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

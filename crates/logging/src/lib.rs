@@ -14,6 +14,7 @@
 //! 5-minute status granularity that inflates the continuity index of
 //! churning NAT users (§V.D).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod codec;

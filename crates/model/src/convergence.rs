@@ -75,7 +75,10 @@ impl ConvergenceModel {
     pub fn stationary(&self) -> f64 {
         let up = self.p_leave_private * self.alpha;
         let down = self.p_leave_public * (1.0 - self.alpha);
-        if up + down == 0.0 {
+        // Division guard as a threshold, not exact-zero equality: `up` and
+        // `down` are products of probabilities in [0, 1], so non-positive
+        // means "no flow either way".
+        if up + down <= 0.0 {
             return 0.0;
         }
         up / (up + down)

@@ -10,6 +10,7 @@
 //! model's assumptions hold, and the bench output records where it
 //! deviates.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod convergence;

@@ -73,7 +73,11 @@ impl ClassCapacity {
             return Bandwidth(self.median.0.min(self.cap.0));
         }
         let mu = (self.median.0 as f64).ln();
-        let dist = LogNormal::new(mu, self.sigma).expect("valid lognormal parameters");
+        // Degrade to the deterministic median rather than panic on a
+        // malformed sigma (sigma > 0 was checked, but NaN slips through).
+        let Ok(dist) = LogNormal::new(mu, self.sigma) else {
+            return Bandwidth(self.median.0.min(self.cap.0));
+        };
         let raw = dist.sample(rng);
         Bandwidth((raw as u64).min(self.cap.0).max(8_000))
     }

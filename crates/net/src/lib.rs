@@ -17,6 +17,7 @@
 //! drives all event scheduling and asks this crate only "can A connect to
 //! B?" and "how long does a message take?".
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod capacity;

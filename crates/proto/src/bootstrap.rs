@@ -8,10 +8,8 @@
 //! reach content even when the random peer sample is useless (all-NAT
 //! flash crowd).
 
-use std::collections::HashMap;
-
 use cs_net::NodeId;
-use cs_sim::SimTime;
+use cs_sim::{DetMap, SimTime};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -23,7 +21,7 @@ pub struct Bootstrap {
     /// Dense list for O(1) random sampling.
     peers: Vec<NodeId>,
     /// id → (index in `peers`, join time).
-    index: HashMap<NodeId, (usize, SimTime)>,
+    index: DetMap<NodeId, (usize, SimTime)>,
     /// Dedicated helper servers, included in every reply.
     servers: Vec<(NodeId, SimTime)>,
     /// Requests served (for load accounting).

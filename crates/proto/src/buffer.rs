@@ -128,7 +128,7 @@ impl StreamBuffer {
             return false;
         }
         let k = self.k as u64;
-        let i = (n % k) as u32;
+        let i = (n % k) as u32; // cs-lint: allow(lossy-cast) — n % k < k, and k is self.k widened from u32
         if !matches!(self.latest[i as usize], Some(h) if n <= h) {
             return false;
         }
@@ -231,7 +231,7 @@ pub struct BufferMap {
 impl BufferMap {
     /// Number of sub-streams described.
     pub fn substreams(&self) -> u32 {
-        self.latest.len() as u32
+        u32::try_from(self.latest.len()).unwrap_or(u32::MAX)
     }
 
     /// Newest seq across sub-streams.

@@ -58,6 +58,7 @@ impl std::fmt::Display for Violation {
 const MAX_RECORDED: usize = 64;
 
 /// An [`Observer`] that validates [`CsWorld`] invariants during a run.
+#[derive(Clone, Debug)]
 pub struct InvariantChecker {
     stride: u64,
     events_seen: u64,

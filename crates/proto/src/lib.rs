@@ -17,6 +17,7 @@
 //! dedicated servers, the source, and the `cs-logging` measurement
 //! apparatus. All tunables live in [`Params`] (Table I).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bootstrap;

@@ -93,13 +93,17 @@ impl MCache {
                 // Evict the youngest peer (largest advertised join time) —
                 // but only if the candidate is older than it, so the cache
                 // monotonically converges towards stable peers.
-                let (victim, youngest) = self
+                let Some((victim, youngest)) = self
                     .entries
                     .iter()
                     .enumerate()
                     .max_by_key(|(_, e)| e.joined_at)
                     .map(|(i, e)| (i, e.joined_at))
-                    .expect("cache non-empty");
+                else {
+                    // len ≥ cap ≥ 1 here; degrade to a plain insert if not.
+                    self.entries.push(entry);
+                    return true;
+                };
                 if entry.joined_at < youngest {
                     self.entries[victim] = entry;
                     true

@@ -73,19 +73,20 @@ impl TopologySnapshot {
 /// servers/source at depth 1. Returns per-node `Option<u32>` depth.
 pub fn bfs_depths(n: usize, roots: &[usize], children: &[Vec<usize>]) -> Vec<Option<u32>> {
     let mut depth: Vec<Option<u32>> = vec![None; n];
+    // Queue entries carry their depth, so dequeueing never has to re-read
+    // (and trust) the `depth` table.
     let mut q = VecDeque::new();
     for &r in roots {
         if depth[r].is_none() {
             depth[r] = Some(1);
-            q.push_back(r);
+            q.push_back((r, 1));
         }
     }
-    while let Some(v) = q.pop_front() {
-        let d = depth[v].expect("queued node has depth");
+    while let Some((v, d)) = q.pop_front() {
         for &c in &children[v] {
             if depth[c].is_none() {
                 depth[c] = Some(d + 1);
-                q.push_back(c);
+                q.push_back((c, d + 1));
             }
         }
     }

@@ -16,12 +16,10 @@
 //! * `GossipTick` — mCache dissemination (§III.B);
 //! * `ReportTick` — the 5-minute status reports of §V.A.
 
-use std::collections::HashMap;
-
 use cs_logging::{ActivityKind, LogServer, Report, UserId};
 use cs_net::{Bandwidth, Network, NodeClass, NodeId};
 use cs_sim::rng::{streams, Xoshiro256PlusPlus};
-use cs_sim::{Ctx, SimTime, World};
+use cs_sim::{Ctx, DetMap, SimTime, World};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -184,6 +182,7 @@ impl CsWorld {
         server_bw: Bandwidth,
         master_seed: u64,
     ) -> Self {
+        // cs-lint: allow(panic-in-lib) — constructor-style precondition: invalid Params is a programming error, not a runtime state
         params.validate().expect("invalid params");
         let mut bootstrap = Bootstrap::new();
         let mut peers: Vec<Option<Peer>> = Vec::new();
@@ -383,6 +382,7 @@ impl CsWorld {
         }
         let bm_b = self.current_bm(b, now);
         let bm_a = self.current_bm(a, now);
+        // cs-lint: allow(panic-in-lib) — the dead-peer early-return above guarantees both peers are alive here
         let (pa, pb) = self.two_mut(a, b).expect("both alive");
         pa.partners.insert(
             b,
@@ -518,6 +518,7 @@ impl CsWorld {
         }
         if subscribed {
             let (user, private, first) = {
+                // cs-lint: allow(panic-in-lib) — `subscribed` can only be set while the peer is alive a few lines up
                 let p = self.peer(id).expect("alive");
                 (p.user, p.private_addr(), p.start_sub.is_none())
             };
@@ -755,6 +756,7 @@ impl CsWorld {
                 };
                 let credit = buf.credit_mut(j);
                 *credit += budget_blocks;
+                // cs-lint: allow(lossy-cast) — credit is non-negative and capped at 2× the per-tick budget below
                 let deliver = (credit.floor() as u64).min(avail);
                 *credit -= deliver as f64;
                 // Unused credit cannot pile into an unbounded burst.
@@ -821,12 +823,14 @@ impl CsWorld {
 
         // 2. Partner maintenance: refill towards the target from mCache.
         let (cur_partners, target) = {
+            // cs-lint: allow(panic-in-lib) — the alive-check at the top of this tick handler already returned for dead peers
             let p = self.peer(id).expect("alive");
             (p.partners.len(), self.params.target_partners)
         };
         if cur_partners < target {
             let picks = {
                 let mut rng = self.rng_mem.clone();
+                // cs-lint: allow(panic-in-lib) — same alive-guarantee as the partner-count read above; no removal happens in between
                 let p = self.peer(id).expect("alive");
                 let partners = &p.partners;
                 let want = (target - cur_partners) * 2;
@@ -886,6 +890,7 @@ impl CsWorld {
         let lead = peer
             .buffer
             .as_ref()
+            // cs-lint: allow(panic-in-lib) — this adaptation path is only reached after the buffer-present check at the call site
             .expect("checked")
             .contiguous_edge()
             .map(|e| e.saturating_sub(peer.next_play));
@@ -914,6 +919,7 @@ impl CsWorld {
                     if !allowed {
                         continue;
                     }
+                    // cs-lint: allow(panic-in-lib) — same buffer-present guarantee as the lead computation above
                     let buf = peer.buffer.as_ref().expect("checked");
                     // A sub-stream with nothing received yet counts from
                     // just before its first wanted block.
@@ -1058,7 +1064,8 @@ impl CsWorld {
                 Some(ready_at) => {
                     let start = buf.start_seq();
                     let elapsed = now.saturating_sub(ready_at).as_secs_f64();
-                    let target = start + (elapsed * bps) as u64;
+                    // cs-lint: allow(lossy-cast) — elapsed × blocks/s is non-negative and far below 2^53; truncation is the intended playout floor
+                    let target = start + (elapsed * bps).floor() as u64;
                     let mut due = 0u64;
                     let mut missed = 0u64;
                     let from = p.next_play;
@@ -1115,9 +1122,9 @@ impl CsWorld {
         let node = id.0;
         let private = p.private_addr();
         let c = p.counters;
-        let incoming = p.incoming_partners() as u32;
-        let outgoing = p.outgoing_partners() as u32;
-        let parents = p.parent_count() as u32;
+        let incoming = u32::try_from(p.incoming_partners()).unwrap_or(u32::MAX);
+        let outgoing = u32::try_from(p.outgoing_partners()).unwrap_or(u32::MAX);
+        let parents = u32::try_from(p.parent_count()).unwrap_or(u32::MAX);
         p.counters = Default::default();
         // Three HTTP report requests to the log server.
         self.stats.control_bytes += 3 * 120;
@@ -1341,6 +1348,7 @@ impl CsWorld {
             adaptations: 0,
         });
         self.bootstrap.register(id, now);
+        // cs-lint: allow(panic-in-lib) — the peer was pushed into the table a few lines up in this same join handler
         let private = self.peer(id).expect("just added").private_addr();
         self.log.report(
             now,
@@ -1555,8 +1563,8 @@ pub fn finalize_sessions(world: &mut CsWorld) {
 
 /// A map from user id to the ground-truth class of its first session —
 /// convenient for per-class analysis joins.
-pub fn user_classes(world: &CsWorld) -> HashMap<UserId, NodeClass> {
-    let mut map = HashMap::new();
+pub fn user_classes(world: &CsWorld) -> DetMap<UserId, NodeClass> {
+    let mut map = DetMap::new();
     for rec in &world.sessions {
         if rec.class.is_user() {
             map.entry(rec.user).or_insert(rec.class);

@@ -172,7 +172,9 @@ impl<W: World> Engine<W> {
                 }
                 Some(_) => {}
             }
-            let (t, event) = self.queue.pop().expect("peeked entry vanished");
+            let Some((t, event)) = self.queue.pop() else {
+                break StopReason::QueueEmpty;
+            };
             self.now = t;
             if let Some(obs) = &mut self.observer {
                 obs.on_dispatch(t, &event, self.queue.len());

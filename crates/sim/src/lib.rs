@@ -33,8 +33,10 @@
 //! assert_eq!(eng.world().0, 5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod det;
 mod engine;
 pub mod observer;
 mod queue;
@@ -42,6 +44,7 @@ pub mod rng;
 mod time;
 mod trace;
 
+pub use det::{DetMap, DetSet};
 pub use engine::{Ctx, Engine, RunStats, StopReason, World};
 pub use observer::{EventStats, MultiObserver, Observer, TraceHasher};
 pub use queue::EventQueue;

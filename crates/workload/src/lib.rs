@@ -15,6 +15,7 @@
 //!
 //! Everything is deterministic in the `(workload, seed)` pair.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod classes;

@@ -70,8 +70,10 @@ impl SessionModel {
             let (lo, hi) = self.zap_range_secs;
             return SimTime::from_secs_f64(rng.gen_range(lo..hi));
         }
-        let dist =
-            LogNormal::new(self.watch_median_secs.ln(), self.watch_sigma).expect("valid lognormal");
+        // Degrade to the median rather than panic on malformed sigma.
+        let Ok(dist) = LogNormal::new(self.watch_median_secs.ln(), self.watch_sigma) else {
+            return SimTime::from_secs_f64(self.watch_median_secs.clamp(10.0, 6.0 * 3600.0));
+        };
         SimTime::from_secs_f64(dist.sample(rng).clamp(10.0, 6.0 * 3600.0))
     }
 
@@ -100,8 +102,10 @@ impl SessionModel {
 
     /// Sample join patience.
     pub fn sample_patience<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
-        let dist = LogNormal::new(self.patience_median_secs.ln(), self.patience_sigma)
-            .expect("valid lognormal");
+        // Degrade to the median rather than panic on malformed sigma.
+        let Ok(dist) = LogNormal::new(self.patience_median_secs.ln(), self.patience_sigma) else {
+            return SimTime::from_secs_f64(self.patience_median_secs.clamp(10.0, 600.0));
+        };
         SimTime::from_secs_f64(dist.sample(rng).clamp(10.0, 600.0))
     }
 

@@ -7,6 +7,8 @@
 //! statistical machinery. Good enough to compare before/after on the
 //! same machine, which is all the benches assert.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -13,6 +13,8 @@
 //!   path and case index), so runs are fully reproducible without a
 //!   persistence file. `PROPTEST_CASES` overrides the case count.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 pub mod collection;

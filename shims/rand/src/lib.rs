@@ -11,6 +11,8 @@
 //! within this workspace is what matters, and all golden values are
 //! produced by this shim.
 
+#![forbid(unsafe_code)]
+
 use core::fmt;
 use core::ops::{Range, RangeInclusive};
 

@@ -4,6 +4,8 @@
 //! Box–Muller over the shim `rand`'s 53-bit uniforms, so samples are
 //! deterministic for a given generator state.
 
+#![forbid(unsafe_code)]
+
 use rand::{Rng, RngCore};
 
 /// Types that can produce samples of `T` given randomness.

@@ -7,6 +7,8 @@
 //! sequential drop-in is semantically exact — it only gives up the
 //! wall-clock speedup, which no test depends on.
 
+#![forbid(unsafe_code)]
+
 /// A "parallel" iterator: a thin wrapper over a sequential one.
 pub struct ParIter<I> {
     inner: I,

@@ -10,6 +10,8 @@
 //! their inner value, unit enum variants → strings, data-carrying
 //! variants → externally-tagged one-key objects.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};

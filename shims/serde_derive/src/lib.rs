@@ -16,6 +16,8 @@
 //! - newtype enum variant → `{ "Variant": value }`
 //! - struct/tuple enum variant → `{ "Variant": {…} }` / `{ "Variant": […] }`
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// What a variant (or the struct body itself) carries.

@@ -4,6 +4,8 @@
 //! string escaping, `\uXXXX` (including surrogate pairs), and integer
 //! fidelity up to the full `u64`/`i64` ranges via `i128`.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 

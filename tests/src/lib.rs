@@ -1,1 +1,3 @@
 //! Host crate for the cross-crate integration tests in `tests/`.
+
+#![forbid(unsafe_code)]
