@@ -97,6 +97,7 @@ fn main() {
                         check_invariants: false,
                         invariant_stride: 0,
                         trace_hash: true,
+                        telemetry: None,
                     })
                     .trace_hash,
             )
@@ -108,6 +109,7 @@ fn main() {
                 check_invariants: true,
                 invariant_stride: 16,
                 trace_hash: false,
+                telemetry: None,
             });
             assert!(run.invariants.as_ref().unwrap().is_clean());
             black_box(run.artifacts.run_stats.events)
@@ -119,6 +121,7 @@ fn main() {
                 check_invariants: true,
                 invariant_stride: 1,
                 trace_hash: false,
+                telemetry: None,
             });
             assert!(run.invariants.as_ref().unwrap().is_clean());
             black_box(run.artifacts.run_stats.events)

@@ -2,7 +2,8 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand plus `--key value` / `--key=value`
+/// flags.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Args {
     /// The subcommand (first positional argument).
@@ -13,11 +14,17 @@ pub struct Args {
 
 impl Args {
     /// Parse an iterator of raw arguments (without the program name).
+    /// Both `--key value` and `--key=value` spellings are accepted; in
+    /// the `=` form the value may itself contain `=` or start with `--`.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Args {
         let mut args = Args::default();
         let mut iter = raw.into_iter().peekable();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if let Some((key, value)) = key.split_once('=') {
+                    args.flags.insert(key.to_string(), value.to_string());
+                    continue;
+                }
                 let value = match iter.peek() {
                     Some(v) if !v.starts_with("--") => iter.next().unwrap(),
                     _ => String::new(),
@@ -86,5 +93,35 @@ mod tests {
         let a = parse("run --quiet --seed 1");
         assert_eq!(a.get_str("quiet"), Some(""));
         assert_eq!(a.get("seed", 0u64), 1);
+    }
+
+    #[test]
+    fn equals_form_matches_space_form() {
+        let spaced = parse("run --scale 0.05 --seed 7 --out dir");
+        let equals = parse("run --scale=0.05 --seed=7 --out=dir");
+        assert_eq!(spaced, equals);
+    }
+
+    #[test]
+    fn equals_form_edge_cases() {
+        // Value containing '=' splits only at the first one.
+        let a = parse("run --filter k=v");
+        assert_eq!(a.get_str("filter"), Some("k=v"));
+        let a = parse("run --filter=k=v");
+        assert_eq!(a.get_str("filter"), Some("k=v"));
+        // Explicit empty value.
+        let a = parse("run --out=");
+        assert_eq!(a.get_str("out"), Some(""));
+        // '=' lets a value start with "--" (the space form can't).
+        let a = parse("run --label=--weird");
+        assert_eq!(a.get_str("label"), Some("--weird"));
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_empty() {
+        let a = parse("run --seed 3 --trace-hash");
+        assert_eq!(a.get("seed", 0u64), 3);
+        assert_eq!(a.get_str("trace-hash"), Some(""));
+        assert!(a.has("trace-hash"));
     }
 }

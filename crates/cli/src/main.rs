@@ -30,6 +30,22 @@ use coolstreaming::experiments::{
 use coolstreaming::{RunOptions, Scenario};
 use cs_logging::LogServer;
 use cs_sim::SimTime;
+use cs_telemetry::{RunManifest, TelemetryConfig};
+
+/// `git describe --always --dirty` of the working tree, if git and a
+/// repository are available; `None` otherwise (e.g. release tarballs).
+fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    (!s.is_empty()).then(|| s.to_string())
+}
 
 fn build_scenario(args: &Args) -> Result<Scenario, String> {
     if let Some(path) = args.get_str("config") {
@@ -61,10 +77,17 @@ fn build_scenario(args: &Args) -> Result<Scenario, String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let scenario = build_scenario(args)?;
     let quiet = args.has("quiet");
+    let telemetry_dir = args.get_str("telemetry-dir").map(PathBuf::from);
     let options = RunOptions {
         check_invariants: args.has("check-invariants"),
         invariant_stride: args.get("invariant-stride", 1),
-        trace_hash: args.has("trace-hash"),
+        // The telemetry manifest records the trace hash, so --telemetry-dir
+        // implies --trace-hash.
+        trace_hash: args.has("trace-hash") || telemetry_dir.is_some(),
+        telemetry: telemetry_dir.is_some().then(|| TelemetryConfig {
+            window: SimTime::from_secs(args.get("telemetry-window", 300)),
+            profile: true,
+        }),
     };
     if !quiet {
         eprintln!(
@@ -72,9 +95,38 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             scenario.start, scenario.horizon, scenario.seed
         );
     }
+    // Wall-clock timing for the manifest only; sim behaviour never sees it.
+    // cs-lint: allow(ambient-entropy) — manifest wall_ms is explicitly environment-dependent metadata
+    let wall_start = std::time::Instant::now();
     let observed = scenario.run_observed(options);
+    let wall_ms = u64::try_from(wall_start.elapsed().as_millis()).unwrap_or(u64::MAX);
     if let Some(hash) = observed.trace_hash {
         println!("trace-hash {hash:016x}");
+    }
+    if let (Some(dir), Some(tel)) = (&telemetry_dir, &observed.telemetry) {
+        let manifest = RunManifest {
+            seed: scenario.seed,
+            scenario_json: serde_json::to_string(&scenario).ok(),
+            git_describe: git_describe(),
+            trace_hash: observed.trace_hash,
+            events: tel.events,
+            event_kinds: output::event_kind_totals(tel),
+            windows: tel.snapshots.len() as u64,
+            window_us: args.get("telemetry-window", 300) * 1_000_000,
+            start_us: scenario.start.as_micros(),
+            horizon_us: scenario.horizon.as_micros(),
+            wall_ms,
+        };
+        output::write_telemetry(dir, tel, &manifest)
+            .map_err(|e| format!("write telemetry: {e}"))?;
+        if !quiet {
+            eprintln!(
+                "telemetry: {} windows, {} series → {}",
+                tel.snapshots.len(),
+                tel.registry.len(),
+                dir.display()
+            );
+        }
     }
     let mut violations = 0;
     if let Some(chk) = &observed.invariants {
@@ -163,15 +215,23 @@ USAGE:
                       [--minutes N] [--seed N] [--start-h F] [--end-h F]
                       [--config scenario.json] [--out DIR] [--quiet]
                       [--check-invariants] [--invariant-stride N]
-                      [--trace-hash]
+                      [--trace-hash] [--telemetry-dir DIR]
+                      [--telemetry-window SECS]
   coolstream analyze  --log FILE [--out DIR]
   coolstream config   [--preset ...]          # print a scenario JSON
   coolstream help
+
+Flags may be spelled `--key value` or `--key=value`.
 
   --check-invariants   validate protocol invariants after every event
                        (exit non-zero on any violation)
   --invariant-stride N full-state validation every N-th event (default 1)
   --trace-hash         print the run's deterministic trace hash
+  --telemetry-dir DIR  write windowed metrics (metrics.jsonl), a wall-clock
+                       dispatch profile (profile.json) and a run manifest
+                       (manifest.json) into DIR; implies --trace-hash
+  --telemetry-window N aggregation window in seconds (default 300, the
+                       paper's status-report cadence)
 ";
 
 fn main() -> ExitCode {

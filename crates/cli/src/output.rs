@@ -9,8 +9,9 @@ use coolstreaming::experiments::{
     self, fig10_sessions, fig3_user_types, fig5_population, fig6_startup, fig7_ready_by_period,
     fig8_continuity, LogView,
 };
-use coolstreaming::RunArtifacts;
+use coolstreaming::{RunArtifacts, TelemetryRun};
 use cs_sim::SimTime;
+use cs_telemetry::{Metric, RunManifest};
 use serde::Serialize;
 
 /// Machine-readable run summary (written as `summary.json`).
@@ -135,6 +136,40 @@ pub fn sessions_csv(view: &LogView) -> String {
         );
     }
     out
+}
+
+/// Per-kind event totals from the telemetry registry's
+/// `engine_events_total{kind=…}` counters, sorted by kind.
+pub fn event_kind_totals(tel: &TelemetryRun) -> Vec<(String, u64)> {
+    let mut kinds: Vec<(String, u64)> = Vec::new();
+    for (_, key, metric) in tel.registry.enumerate() {
+        if key.name != "engine_events_total" {
+            continue;
+        }
+        if let (Some((_, kind)), Metric::Counter(n)) =
+            (key.labels.iter().find(|(k, _)| *k == "kind"), metric)
+        {
+            kinds.push((kind.clone(), *n));
+        }
+    }
+    kinds.sort();
+    kinds
+}
+
+/// Write `metrics.jsonl`, `profile.json` and `manifest.json` under `dir`.
+pub fn write_telemetry(dir: &Path, tel: &TelemetryRun, manifest: &RunManifest) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut jsonl = String::new();
+    for snap in &tel.snapshots {
+        jsonl.push_str(&snap.to_json());
+        jsonl.push('\n');
+    }
+    fs::write(dir.join("metrics.jsonl"), jsonl)?;
+    if let Some(profile) = &tel.profile {
+        fs::write(dir.join("profile.json"), profile.to_json())?;
+    }
+    fs::write(dir.join("manifest.json"), manifest.to_json())?;
+    Ok(())
 }
 
 /// Write all run outputs under `dir`.

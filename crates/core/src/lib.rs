@@ -39,7 +39,7 @@ pub mod experiments;
 mod scenario;
 
 pub use channels::{zappers, ChannelRun, ChannelScenario};
-pub use scenario::{run_all, ObservedRun, RunArtifacts, RunOptions, Scenario};
+pub use scenario::{run_all, ObservedRun, RunArtifacts, RunOptions, Scenario, TelemetryRun};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use cs_analysis as analysis;
@@ -49,4 +49,5 @@ pub use cs_model as model;
 pub use cs_net as net;
 pub use cs_proto as proto;
 pub use cs_sim as sim;
+pub use cs_telemetry as telemetry;
 pub use cs_workload as workload;

@@ -15,8 +15,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cs_net::{Bandwidth, ConnectivityPolicy, LatencyModel, Network};
-use cs_proto::{finalize_sessions, CsWorld, Event, InvariantChecker, Params};
+use cs_proto::{finalize_sessions, CsWorld, Event, InvariantChecker, Params, ProtoTelemetry};
 use cs_sim::{Engine, MultiObserver, RunStats, SimTime, TraceHasher};
+use cs_telemetry::{
+    DispatchProfiler, MetricRegistry, TelemetryConfig, TelemetryObserver, WindowSnapshot,
+};
 use cs_workload::Workload;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -176,15 +179,55 @@ impl Scenario {
                 Event::kind as fn(&Event) -> _,
             )))
         });
-        if checker.is_some() || hasher.is_some() {
-            let mut multi = MultiObserver::new();
-            if let Some(c) = &checker {
-                multi.push(Box::new(Rc::clone(c)));
+        // Sampler and engine observer are fused into one TelemetryPair so
+        // the per-event path pays a single dyn call per hook. When the
+        // pair is the *only* observer it is attached by value (recovered
+        // afterwards via `Observer::as_any_mut`), skipping the
+        // `Rc<RefCell<_>>` borrow checks on the hot path entirely; with
+        // other observers present it shares a MultiObserver slot through
+        // the usual handle.
+        let (registry, pair) = options
+            .telemetry
+            .map(|cfg| {
+                let registry = Rc::new(RefCell::new(MetricRegistry::new()));
+                let pair = TelemetryPair {
+                    sampler: ProtoTelemetry::new(
+                        Rc::clone(&registry),
+                        cfg.effective_window(),
+                        self.start,
+                    ),
+                    observer: TelemetryObserver::new(Rc::clone(&registry), cfg, self.start),
+                };
+                (registry, pair)
+            })
+            .unzip();
+        let mut shared_pair: Option<Rc<RefCell<TelemetryPair>>> = None;
+        let mut observers: Vec<Box<dyn cs_sim::Observer<CsWorld>>> = Vec::new();
+        if let Some(c) = &checker {
+            observers.push(Box::new(Rc::clone(c)));
+        }
+        if let Some(h) = &hasher {
+            observers.push(Box::new(Rc::clone(h)));
+        }
+        if let Some(pair) = pair {
+            if observers.is_empty() {
+                observers.push(Box::new(pair));
+            } else {
+                let rc = Rc::new(RefCell::new(pair));
+                observers.push(Box::new(Rc::clone(&rc)));
+                shared_pair = Some(rc);
             }
-            if let Some(h) = &hasher {
-                multi.push(Box::new(Rc::clone(h)));
+        }
+        // A single observer goes in directly; fan-out only when needed —
+        // the MultiObserver layer costs a dyn call per hook per event.
+        if observers.len() > 1 {
+            let mut multi = MultiObserver::new();
+            for obs in observers {
+                multi.push(obs);
             }
             engine.set_observer(Box::new(multi));
+        } else if let Some(obs) = observers.pop() {
+            engine.set_observer(obs);
         }
 
         for (t, e) in engine.world().initial_events() {
@@ -195,7 +238,7 @@ impl Scenario {
         }
         let run_stats = engine.run_until(self.horizon);
         let end = engine.now();
-        engine.take_observer(); // drop the engine's clones of the handles
+        let mut taken = engine.take_observer();
         let mut world = engine.into_world();
         // Validate the horizon state too: runs ending between events
         // (or with a stride) would otherwise leave the tail unchecked.
@@ -203,6 +246,44 @@ impl Scenario {
             c.borrow_mut().check_world(end, &world);
         }
         finalize_sessions(&mut world);
+        let telemetry = registry.map(|registry| {
+            // Close the books on the horizon state: one last protocol
+            // sample, then flush the final (possibly partial) window.
+            let close = |p: &mut TelemetryPair| {
+                p.sampler.sample(&world);
+                p.observer.finish(end.max(self.horizon));
+                let (snapshots, profile) = p.observer.take_parts();
+                (p.observer.events(), snapshots, profile)
+            };
+            let (events, snapshots, profile) = match &shared_pair {
+                Some(rc) => close(&mut rc.borrow_mut()),
+                None => match taken
+                    .as_mut()
+                    .and_then(|o| o.as_any_mut())
+                    .and_then(|a| a.downcast_mut::<TelemetryPair>())
+                {
+                    Some(pair) => close(pair),
+                    // Unreachable by construction — the solo pair was
+                    // attached by value above. Degrade to empty telemetry
+                    // rather than abort the run.
+                    None => (0, Vec::new(), None),
+                },
+            };
+            // Drop the remaining pair handles (each holds a registry
+            // clone) so the registry unwraps without copying.
+            drop(taken.take());
+            drop(shared_pair.take());
+            let registry = match Rc::try_unwrap(registry) {
+                Ok(cell) => cell.into_inner(),
+                Err(rc) => MetricRegistry::clone(&rc.borrow()),
+            };
+            TelemetryRun {
+                snapshots,
+                registry,
+                profile,
+                events,
+            }
+        });
         ObservedRun {
             artifacts: RunArtifacts {
                 world,
@@ -217,7 +298,41 @@ impl Scenario {
                 // snapshot of its state rather than aborting the run.
                 Err(rc) => InvariantChecker::clone(&rc.borrow()),
             }),
+            telemetry,
         }
+    }
+}
+
+/// The protocol sampler and the engine telemetry observer, fused so the
+/// engine sees one observer. Order inside `after_handle` matters: the
+/// sampler records its boundary gauges first, then the engine observer
+/// (which owns the window clock) may close the window containing them.
+struct TelemetryPair {
+    sampler: ProtoTelemetry,
+    observer: TelemetryObserver<Event, EventKinds>,
+}
+
+/// Inlinable bridge from [`Event::kind_class`] to the telemetry
+/// classifier trait.
+struct EventKinds;
+
+impl cs_telemetry::KindClassify<Event> for EventKinds {
+    #[inline]
+    fn class(event: &Event) -> (u8, &'static str) {
+        event.kind_class()
+    }
+}
+
+impl cs_sim::Observer<CsWorld> for TelemetryPair {
+    fn on_dispatch(&mut self, now: SimTime, event: &Event, queue_depth: usize) {
+        cs_sim::Observer::<CsWorld>::on_dispatch(&mut self.observer, now, event, queue_depth);
+    }
+    fn after_handle(&mut self, now: SimTime, world: &CsWorld) {
+        cs_sim::Observer::<CsWorld>::after_handle(&mut self.sampler, now, world);
+        cs_sim::Observer::<CsWorld>::after_handle(&mut self.observer, now, world);
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -233,6 +348,11 @@ pub struct RunOptions {
     pub invariant_stride: u64,
     /// Attach a [`TraceHasher`] and report the run's trace hash.
     pub trace_hash: bool,
+    /// Attach the telemetry observers (engine counters plus the
+    /// `cs-proto` protocol sampler) and report windowed metric
+    /// snapshots. Like the other observers this is passive: artifacts
+    /// and trace hashes are identical with telemetry on or off.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 /// The output of an instrumented run.
@@ -244,6 +364,21 @@ pub struct ObservedRun {
     pub trace_hash: Option<u64>,
     /// The invariant checker with its verdict, if requested.
     pub invariants: Option<InvariantChecker>,
+    /// Windowed metrics and dispatch profile, if requested.
+    pub telemetry: Option<TelemetryRun>,
+}
+
+/// The telemetry output of an instrumented run.
+#[derive(Clone, Debug)]
+pub struct TelemetryRun {
+    /// Windowed metric snapshots, in window order (last may be partial).
+    pub snapshots: Vec<WindowSnapshot>,
+    /// The final metric registry (cumulative values at the horizon).
+    pub registry: MetricRegistry,
+    /// Wall-clock dispatch profile, if profiling was enabled.
+    pub profile: Option<DispatchProfiler>,
+    /// Events the telemetry observer saw dispatched.
+    pub events: u64,
 }
 
 /// The output of one run.

@@ -102,7 +102,12 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            det_crates: ["proto", "sim", "core", "net", "workload"]
+            // `telemetry` is deterministic by design (metric keys and
+            // windowing must not perturb trace hashes); its one sanctioned
+            // wall-clock user — the DispatchProfiler, whose output goes
+            // only to profile.json — carries explicit allow(ambient-entropy)
+            // escapes rather than a file-level exemption.
+            det_crates: ["proto", "sim", "core", "net", "workload", "telemetry"]
                 .map(String::from)
                 .to_vec(),
             cast_crates: ["proto", "model"].map(String::from).to_vec(),

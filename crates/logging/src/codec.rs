@@ -21,6 +21,8 @@ pub enum CodecError {
     MissingEquals(String),
     /// A percent escape was malformed.
     BadEscape(String),
+    /// A key appeared more than once (strict decode only).
+    DuplicateKey(String),
 }
 
 impl std::fmt::Display for CodecError {
@@ -28,6 +30,7 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::MissingEquals(p) => write!(f, "pair without '=': {p:?}"),
             CodecError::BadEscape(p) => write!(f, "bad percent escape in {p:?}"),
+            CodecError::DuplicateKey(k) => write!(f, "duplicate key {k:?}"),
         }
     }
 }
@@ -124,7 +127,8 @@ impl Pairs {
         out
     }
 
-    /// Decode a log string.
+    /// Decode a log string permissively: duplicate keys keep the last
+    /// value, matching how real log pipelines tolerate version skew.
     pub fn decode(s: &str) -> Result<Pairs, CodecError> {
         let mut map = BTreeMap::new();
         if s.is_empty() {
@@ -135,6 +139,28 @@ impl Pairs {
                 .split_once('=')
                 .ok_or_else(|| CodecError::MissingEquals(pair.to_string()))?;
             map.insert(unescape(k)?, unescape(v)?);
+        }
+        Ok(Pairs { map })
+    }
+
+    /// Decode a log string strictly: a repeated key is rejected with
+    /// [`CodecError::DuplicateKey`] instead of keeping the last value.
+    /// Typed schemas ([`Report::decode`](crate::Report::decode)) use this
+    /// so a corrupted or spliced line cannot silently shadow a field.
+    pub fn decode_strict(s: &str) -> Result<Pairs, CodecError> {
+        let mut map = BTreeMap::new();
+        if s.is_empty() {
+            return Ok(Pairs { map });
+        }
+        for pair in s.split('&') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| CodecError::MissingEquals(pair.to_string()))?;
+            let k = unescape(k)?;
+            if map.contains_key(&k) {
+                return Err(CodecError::DuplicateKey(k));
+            }
+            map.insert(k, unescape(v)?);
         }
         Ok(Pairs { map })
     }
@@ -194,6 +220,23 @@ mod tests {
         assert_eq!(p.get_parsed::<f64>("f"), Some(2.5));
         assert_eq!(p.get_parsed::<u32>("s"), None);
         assert_eq!(p.get_parsed::<u32>("missing"), None);
+    }
+
+    #[test]
+    fn strict_decode_rejects_duplicates_permissive_keeps_last() {
+        assert_eq!(Pairs::decode("a=1&a=2").unwrap().get("a"), Some("2"));
+        assert_eq!(
+            Pairs::decode_strict("a=1&a=2"),
+            Err(CodecError::DuplicateKey("a".into()))
+        );
+        // Escaped spellings of the same key still collide.
+        assert!(matches!(
+            Pairs::decode_strict("a=1&%61=2"),
+            Err(CodecError::DuplicateKey(_))
+        ));
+        // No duplicates: both decoders agree.
+        let s = "a=1&b=2&c=3";
+        assert_eq!(Pairs::decode_strict(s).unwrap(), Pairs::decode(s).unwrap());
     }
 
     #[test]

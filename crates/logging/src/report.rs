@@ -35,7 +35,8 @@ pub enum ActivityKind {
 }
 
 impl ActivityKind {
-    fn code(self) -> &'static str {
+    /// The wire code used in the `ev` field of activity log strings.
+    pub fn code(self) -> &'static str {
         match self {
             ActivityKind::Join => "join",
             ActivityKind::StartSubscription => "startsub",
@@ -44,7 +45,8 @@ impl ActivityKind {
         }
     }
 
-    fn from_code(s: &str) -> Option<Self> {
+    /// Inverse of [`ActivityKind::code`]; `None` for unknown codes.
+    pub fn from_code(s: &str) -> Option<Self> {
         Some(match s {
             "join" => ActivityKind::Join,
             "startsub" => ActivityKind::StartSubscription,
@@ -194,9 +196,11 @@ impl Report {
         p.encode()
     }
 
-    /// Decode a log string back into a typed report.
+    /// Decode a log string back into a typed report. Decoding is strict:
+    /// a duplicated key or an unrecognized activity code is rejected
+    /// rather than silently resolved.
     pub fn decode(s: &str) -> Result<Report, ReportError> {
-        let p = Pairs::decode(s)?;
+        let p = Pairs::decode_strict(s)?;
         let cls = p.get("cls").ok_or(ReportError::Missing("cls"))?;
         let user = UserId(p.get_parsed("uid").ok_or(ReportError::Missing("uid"))?);
         let node: u32 = p.get_parsed("nid").ok_or(ReportError::Missing("nid"))?;
@@ -204,15 +208,16 @@ impl Report {
             p.get_parsed(key).ok_or(ReportError::Missing(key))
         };
         Ok(match cls {
-            "act" => Report::Activity {
-                user,
-                node,
-                kind: p
-                    .get("ev")
-                    .and_then(ActivityKind::from_code)
-                    .ok_or(ReportError::Missing("ev"))?,
-                private_addr: get("priv")? != 0,
-            },
+            "act" => {
+                let code = p.get("ev").ok_or(ReportError::Missing("ev"))?;
+                Report::Activity {
+                    user,
+                    node,
+                    kind: ActivityKind::from_code(code)
+                        .ok_or_else(|| ReportError::UnknownActivity(code.to_string()))?,
+                    private_addr: get("priv")? != 0,
+                }
+            }
             "qos" => Report::Qos {
                 user,
                 node,
@@ -248,6 +253,8 @@ pub enum ReportError {
     Missing(&'static str),
     /// The `cls` discriminator was unrecognized.
     UnknownClass(String),
+    /// The `ev` activity code was unrecognized.
+    UnknownActivity(String),
 }
 
 impl From<CodecError> for ReportError {
@@ -262,6 +269,7 @@ impl std::fmt::Display for ReportError {
             ReportError::Codec(e) => write!(f, "codec: {e}"),
             ReportError::Missing(k) => write!(f, "missing key {k}"),
             ReportError::UnknownClass(c) => write!(f, "unknown report class {c:?}"),
+            ReportError::UnknownActivity(c) => write!(f, "unknown activity code {c:?}"),
         }
     }
 }
@@ -327,6 +335,22 @@ mod tests {
         assert!(matches!(
             Report::decode("cls=qos&uid=1&nid=2&due=5"),
             Err(ReportError::Missing("miss"))
+        ));
+    }
+
+    #[test]
+    fn unknown_activity_code_rejected() {
+        assert_eq!(
+            Report::decode("cls=act&uid=1&nid=2&ev=dance&priv=0"),
+            Err(ReportError::UnknownActivity("dance".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        assert!(matches!(
+            Report::decode("cls=qos&uid=1&uid=2&nid=3&due=10&miss=1"),
+            Err(ReportError::Codec(CodecError::DuplicateKey(_)))
         ));
     }
 

@@ -1,7 +1,8 @@
 //! Property tests: every representable report survives the log-string
-//! round trip, including through the text log-file format.
+//! round trip, including through the text log-file format, and the strict
+//! decoder rejects duplicate keys and unknown activity codes.
 
-use cs_logging::{ActivityKind, LogServer, Pairs, Report, UserId};
+use cs_logging::{ActivityKind, CodecError, LogServer, Pairs, Report, ReportError, UserId};
 use cs_sim::SimTime;
 use proptest::prelude::*;
 
@@ -84,6 +85,46 @@ proptest! {
         for (k, v) in &kvs {
             prop_assert_eq!(decoded.get(k), Some(v.as_str()));
         }
+    }
+
+    #[test]
+    fn strict_decode_accepts_what_encode_produces(r in arb_report()) {
+        // Report::decode is strict, so encode must never produce a line
+        // strict decoding refuses.
+        let encoded = r.encode();
+        prop_assert!(Pairs::decode_strict(&encoded).is_ok());
+    }
+
+    #[test]
+    fn duplicated_key_is_rejected(r in arb_report(), dup_idx in 0usize..8) {
+        // Splice a repeat of one existing key onto a valid line: the
+        // permissive decoder shrugs, the typed decoder must refuse.
+        let encoded = r.encode();
+        let keys: Vec<&str> = encoded
+            .split('&')
+            .filter_map(|p| p.split_once('=').map(|(k, _)| k))
+            .collect();
+        let key = keys[dup_idx % keys.len()];
+        let spliced = format!("{encoded}&{key}=0");
+        prop_assert!(Pairs::decode(&spliced).is_ok());
+        prop_assert_eq!(
+            Report::decode(&spliced),
+            Err(ReportError::Codec(CodecError::DuplicateKey(key.to_string())))
+        );
+    }
+
+    #[test]
+    fn unknown_activity_code_is_rejected(
+        uid in any::<u32>(),
+        nid in any::<u32>(),
+        code in "[a-z]{1,12}",
+    ) {
+        prop_assume!(ActivityKind::from_code(&code).is_none());
+        let line = format!("cls=act&uid={uid}&nid={nid}&ev={code}&priv=0");
+        prop_assert_eq!(
+            Report::decode(&line),
+            Err(ReportError::UnknownActivity(code))
+        );
     }
 
     #[test]

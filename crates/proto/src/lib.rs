@@ -28,6 +28,7 @@ mod params;
 mod peer;
 mod session;
 mod snapshot;
+mod telemetry;
 mod world;
 
 pub use bootstrap::Bootstrap;
@@ -38,4 +39,5 @@ pub use params::{Allocation, Params, ReplacePolicy, StartPolicy};
 pub use peer::{PartnerView, Peer, ReportCounters};
 pub use session::{DepartReason, SessionRecord};
 pub use snapshot::{bfs_depths, edge_bucket, EdgeBucket, TopologySnapshot};
+pub use telemetry::ProtoTelemetry;
 pub use world::{finalize_sessions, user_classes, CsWorld, Event, UserSpec, WorldStats};

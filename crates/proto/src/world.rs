@@ -88,20 +88,29 @@ impl Event {
     /// instrumentation (per-kind counters, trace hashing); renaming a
     /// variant here invalidates golden trace hashes.
     pub fn kind(&self) -> &'static str {
+        self.kind_class().1
+    }
+
+    /// [`Event::kind`] plus a dense per-variant index, for
+    /// instrumentation that wants array-indexed per-kind counters
+    /// without a name lookup on the dispatch path (cs-telemetry's
+    /// engine observer). Indices are contiguous from 0 and carry no
+    /// meaning beyond identity within one build.
+    pub fn kind_class(&self) -> (u8, &'static str) {
         match self {
-            Event::Arrive(_) => "arrive",
-            Event::BootstrapReply(_) => "bootstrap_reply",
-            Event::PartnersReady(_) => "partners_ready",
-            Event::PatienceCheck(_) => "patience_check",
-            Event::Depart(_) => "depart",
-            Event::GossipTick(_) => "gossip_tick",
-            Event::BmTick(_) => "bm_tick",
-            Event::SchedRound(_) => "sched_round",
-            Event::PlaybackTick(_) => "playback_tick",
-            Event::ReportTick(_) => "report_tick",
-            Event::Snapshot => "snapshot",
-            Event::SetBootstrap(_) => "set_bootstrap",
-            Event::CrashServer(_) => "crash_server",
+            Event::Arrive(_) => (0, "arrive"),
+            Event::BootstrapReply(_) => (1, "bootstrap_reply"),
+            Event::PartnersReady(_) => (2, "partners_ready"),
+            Event::PatienceCheck(_) => (3, "patience_check"),
+            Event::Depart(_) => (4, "depart"),
+            Event::GossipTick(_) => (5, "gossip_tick"),
+            Event::BmTick(_) => (6, "bm_tick"),
+            Event::SchedRound(_) => (7, "sched_round"),
+            Event::PlaybackTick(_) => (8, "playback_tick"),
+            Event::ReportTick(_) => (9, "report_tick"),
+            Event::Snapshot => (10, "snapshot"),
+            Event::SetBootstrap(_) => (11, "set_bootstrap"),
+            Event::CrashServer(_) => (12, "crash_server"),
         }
     }
 }
@@ -290,6 +299,12 @@ impl CsWorld {
     /// Access a peer's state.
     pub fn peer(&self, id: NodeId) -> Option<&Peer> {
         self.peers.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Iterate every live peer (source, servers, and users), in node-id
+    /// order.
+    pub fn peers(&self) -> impl Iterator<Item = &Peer> {
+        self.peers.iter().filter_map(Option::as_ref)
     }
 
     fn peer_mut(&mut self, id: NodeId) -> Option<&mut Peer> {

@@ -68,6 +68,16 @@ pub trait Observer<W: World> {
     fn after_handle(&mut self, now: SimTime, world: &W) {
         let _ = (now, world);
     }
+
+    /// Escape hatch for recovering a by-value observer after
+    /// [`Engine::take_observer`](crate::Engine::take_observer): an
+    /// observer attached as a plain `Box` (no `Rc<RefCell<_>>` handle,
+    /// so no per-event borrow checks) overrides this to `Some(self)`
+    /// and the caller downcasts the returned `Any`. The default keeps
+    /// existing observers opaque.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// Forward hooks through a shared handle, so callers can keep reading
@@ -109,7 +119,9 @@ impl<E> EventStats<E> {
         &self.counts
     }
 
-    /// Largest pending-queue depth seen at any dispatch.
+    /// Largest queue depth seen at any dispatch, *including* the event
+    /// being dispatched — a run with one event at a time has a high-water
+    /// mark of 1, and 0 means no event was ever observed.
     pub fn queue_high_water(&self) -> usize {
         self.queue_high_water
     }
@@ -136,7 +148,9 @@ impl<E> EventStats<E> {
 impl<W: World> Observer<W> for EventStats<W::Event> {
     fn on_dispatch(&mut self, _now: SimTime, event: &W::Event, queue_depth: usize) {
         *self.counts.entry((self.classify)(event)).or_insert(0) += 1;
-        self.queue_high_water = self.queue_high_water.max(queue_depth);
+        // `queue_depth` excludes the popped event; count it back in so the
+        // mark reflects how full the queue actually got.
+        self.queue_high_water = self.queue_high_water.max(queue_depth + 1);
         self.events += 1;
     }
 }
@@ -311,6 +325,27 @@ mod tests {
         assert_eq!(counts["leaf"], 8);
         assert_eq!(handled, 12);
         assert!(high_water >= 2, "high water {high_water}");
+    }
+
+    #[test]
+    fn high_water_includes_the_dispatched_event() {
+        // A single event, never more than one pending: the queue peaked
+        // at 1, and the mark must say so even though the pending count
+        // at dispatch time is 0.
+        let stats = Rc::new(RefCell::new(EventStats::new(kind as fn(&Ev) -> _)));
+        let mut eng = Engine::new(Fanout { handled: 0 });
+        eng.set_observer(Box::new(Rc::clone(&stats)));
+        eng.schedule_at(SimTime::ZERO, Ev::Spawn(0));
+        eng.run_until(SimTime::MAX);
+        // Spawn(0) enqueues 2 leaves → depth peaked at 2 mid-run.
+        assert_eq!(stats.borrow().queue_high_water(), 2);
+
+        let stats = Rc::new(RefCell::new(EventStats::new(kind as fn(&Ev) -> _)));
+        let mut eng = Engine::new(Fanout { handled: 0 });
+        eng.set_observer(Box::new(Rc::clone(&stats)));
+        eng.schedule_at(SimTime::ZERO, Ev::Leaf);
+        eng.run_until(SimTime::MAX);
+        assert_eq!(stats.borrow().queue_high_water(), 1);
     }
 
     #[test]

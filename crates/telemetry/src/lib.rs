@@ -1,0 +1,82 @@
+//! # cs-telemetry — deterministic metrics, windowed aggregation, run manifests
+//!
+//! The paper *is* an observability system: §V's internal logging (immediate
+//! activity reports plus 5-minute QoS/traffic/partner status reports) is
+//! what makes every figure possible. This crate is the reproduction's own
+//! telemetry layer: a dependency-light metrics core whose output is a pure
+//! function of `(configuration, seed)`, so metric streams can be diffed
+//! across runs exactly like trace hashes.
+//!
+//! Pieces:
+//!
+//! * [`MetricRegistry`] — [`Counter`](Metric::Counter) /
+//!   [`Gauge`](Metric::Gauge) / [`Histogram`] instruments keyed by static
+//!   name + label set. Histograms use fixed power-of-two bucket edges, so
+//!   no floats ever appear in keys or bucket boundaries.
+//! * [`WindowedAggregator`] — rolls every metric into sim-time windows
+//!   (default: the paper's 5-minute status-report cadence,
+//!   [`DEFAULT_WINDOW`]) and flushes them as JSONL snapshots carrying both
+//!   cumulative values and per-window deltas.
+//! * [`TelemetryObserver`] — a [`cs_sim::Observer`] that counts dispatches
+//!   per event kind, tracks queue depth, and drives the window clock. It is
+//!   passive: attaching it cannot change a run, so golden trace hashes are
+//!   identical with telemetry on or off.
+//! * [`DispatchProfiler`] — the one deliberately non-deterministic piece:
+//!   wall-clock timing of each event kind. Its measurements never enter the
+//!   registry or the windowed stream; they are emitted only to
+//!   `profile.json` (see [`DispatchProfiler::to_json`]).
+//! * [`RunManifest`] — the `manifest.json` schema tying a run's seed,
+//!   scenario, git revision, trace hash, and event totals together so any
+//!   run is reconstructable and comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+pub mod manifest;
+pub mod observer;
+pub mod profile;
+pub mod registry;
+pub mod window;
+
+pub use manifest::RunManifest;
+pub use observer::{KindClassify, TelemetryObserver, PROFILE_SAMPLE_EVERY};
+pub use profile::{DispatchProfiler, KindTiming};
+pub use registry::{Histogram, Metric, MetricId, MetricKey, MetricRegistry};
+pub use window::{SnapValue, WindowSnapshot, WindowedAggregator};
+
+use cs_sim::SimTime;
+
+/// The paper's status-report period (§V.A): 5 minutes. Used as the default
+/// aggregation window so simulator metrics line up with report-derived ones.
+pub const DEFAULT_WINDOW: SimTime = SimTime::from_secs(300);
+
+/// How a run's telemetry is configured (carried inside the scenario
+/// runner's options; `Copy` so option structs stay `Copy`).
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Aggregation window; `SimTime::ZERO` falls back to [`DEFAULT_WINDOW`].
+    pub window: SimTime,
+    /// Attach the wall-clock [`DispatchProfiler`].
+    pub profile: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            window: DEFAULT_WINDOW,
+            profile: true,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The effective window (zero-proofed).
+    pub fn effective_window(&self) -> SimTime {
+        if self.window == SimTime::ZERO {
+            DEFAULT_WINDOW
+        } else {
+            self.window
+        }
+    }
+}

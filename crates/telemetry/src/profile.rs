@@ -1,0 +1,169 @@
+//! Wall-clock dispatch profiling.
+//!
+//! The one deliberately non-deterministic module of this crate: it answers
+//! "where does engine wall-clock go, per event kind?" with real
+//! `Instant`-based timing. To keep determinism intact the measurements are
+//! quarantined — they are never written into the [`MetricRegistry`] or the
+//! windowed JSONL stream, only rendered to a separate `profile.json`
+//! ([`DispatchProfiler::to_json`]), and the profiler reads nothing from
+//! (and writes nothing to) simulation state. cs-lint's `ambient-entropy`
+//! rule is escaped line-by-line below with this justification; every other
+//! module in the crate is clean under the deterministic-crate rule set.
+
+use std::time::Instant;
+
+use cs_sim::DetMap;
+
+use crate::json::push_key;
+use crate::registry::Histogram;
+
+/// Wall-clock timing for one event kind.
+#[derive(Clone, Debug, Default)]
+pub struct KindTiming {
+    /// Events timed.
+    pub count: u64,
+    /// Total handler nanoseconds.
+    pub total_ns: u64,
+    /// Fastest handler invocation.
+    pub min_ns: u64,
+    /// Slowest handler invocation.
+    pub max_ns: u64,
+    /// Log-bucket distribution of handler nanoseconds.
+    pub hist: Histogram,
+}
+
+/// Times each event kind's handler with the wall clock (see module docs).
+///
+/// The profiler times whatever `begin`/`end` bracket it is handed;
+/// [`TelemetryObserver`](crate::TelemetryObserver) samples one dispatch in
+/// [`PROFILE_SAMPLE_EVERY`](crate::PROFILE_SAMPLE_EVERY) rather than
+/// timing all of them, so `count`/`total_ns` describe the sampled subset.
+#[derive(Clone, Debug, Default)]
+pub struct DispatchProfiler {
+    in_flight: Option<(&'static str, Instant)>,
+    kinds: DetMap<&'static str, KindTiming>,
+    events: u64,
+    total_ns: u64,
+}
+
+impl DispatchProfiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        DispatchProfiler::default()
+    }
+
+    /// Start timing an event of `kind` (call from `on_dispatch`).
+    pub fn begin(&mut self, kind: &'static str) {
+        // cs-lint: allow(ambient-entropy) — wall-clock profiling is this module's purpose; results go only to profile.json, never into sim state or the metric registry
+        self.in_flight = Some((kind, Instant::now()));
+    }
+
+    /// Stop the running timer (call from `after_handle`). A stray `end`
+    /// without a matching `begin` is a no-op.
+    pub fn end(&mut self) {
+        let Some((kind, t0)) = self.in_flight.take() else {
+            return;
+        };
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let t = self.kinds.entry(kind).or_default();
+        if t.count == 0 || ns < t.min_ns {
+            t.min_ns = ns;
+        }
+        t.max_ns = t.max_ns.max(ns);
+        t.count += 1;
+        t.total_ns = t.total_ns.saturating_add(ns);
+        t.hist.observe(ns);
+        self.events += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+
+    /// Events timed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total nanoseconds across all handlers.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Per-kind timings, sorted by kind name.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, &KindTiming)> + '_ {
+        self.kinds.iter().map(|(&k, t)| (k, t))
+    }
+
+    /// Render `profile.json`: per-event-kind wall-clock totals, means,
+    /// extremes, log-bucket distributions, and each kind's share of the
+    /// total in tenths of a percent (integer, to keep the file free of
+    /// platform-dependent float formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"cs-telemetry-profile/1\"");
+        out.push_str(&format!(
+            ",\"events\":{},\"total_ns\":{}",
+            self.events, self.total_ns
+        ));
+        out.push(',');
+        push_key(&mut out, "kinds");
+        out.push('{');
+        for (i, (kind, t)) in self.kinds().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, kind);
+            let mean = t.total_ns.checked_div(t.count).unwrap_or(0);
+            let share_permille = (t.total_ns.saturating_mul(1000))
+                .checked_div(self.total_ns)
+                .unwrap_or(0);
+            out.push_str(&format!(
+                "{{\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+                 \"share_permille\":{},\"buckets_ns\":{{",
+                t.count, t.total_ns, mean, t.min_ns, t.max_ns, share_permille
+            ));
+            for (j, (le, n)) in t.hist.buckets().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{le}\":{n}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_end_accumulates_per_kind() {
+        let mut p = DispatchProfiler::new();
+        for _ in 0..3 {
+            p.begin("arrive");
+            p.end();
+        }
+        p.begin("depart");
+        p.end();
+        p.end(); // stray end: ignored
+        assert_eq!(p.events(), 4);
+        let kinds: Vec<_> = p.kinds().map(|(k, t)| (k, t.count)).collect();
+        assert_eq!(kinds, vec![("arrive", 3), ("depart", 1)]);
+        for (_, t) in p.kinds() {
+            assert!(t.min_ns <= t.max_ns);
+            assert_eq!(t.hist.count(), t.count);
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut p = DispatchProfiler::new();
+        p.begin("tick");
+        p.end();
+        let j = p.to_json();
+        assert!(j.starts_with("{\"schema\":\"cs-telemetry-profile/1\""));
+        assert!(j.contains("\"kinds\":{\"tick\":{\"count\":1,"));
+        assert!(j.contains("\"share_permille\":"));
+        assert!(j.ends_with("}}"));
+    }
+}

@@ -32,6 +32,11 @@ pub struct BenchResult {
     pub name: String,
     /// Median time per iteration.
     pub median: Duration,
+    /// Fastest sample's time per iteration. Wall-clock noise on a
+    /// loaded machine is one-sided (interference only ever adds time),
+    /// so the minimum is the most stable statistic for before/after
+    /// comparisons.
+    pub min: Duration,
     /// Total iterations measured.
     pub iters: u64,
 }
@@ -96,14 +101,17 @@ impl Criterion {
             .get(samples.len() / 2)
             .copied()
             .unwrap_or(Duration::ZERO);
+        let min = samples.first().copied().unwrap_or(Duration::ZERO);
         eprintln!(
-            "bench {name:<40} median {:>12.3} µs ({} iters)",
+            "bench {name:<40} median {:>12.3} µs  min {:>12.3} µs ({} iters)",
             median.as_secs_f64() * 1e6,
+            min.as_secs_f64() * 1e6,
             b.iters
         );
         self.results.push(BenchResult {
             name: name.to_string(),
             median,
+            min,
             iters: b.iters,
         });
         self

@@ -404,6 +404,19 @@ macro_rules! prop_assert_ne {
     }};
 }
 
+/// Discard a case whose inputs don't meet a precondition. Real proptest
+/// resamples rejected cases; this shim simply skips them, which keeps the
+/// runner trivial at the cost of slightly fewer effective cases — keep
+/// assumptions low-probability.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
 /// Uniform choice among strategies producing the same value type.
 #[macro_export]
 macro_rules! prop_oneof {
@@ -415,8 +428,8 @@ macro_rules! prop_oneof {
 /// The glob import every test file uses.
 pub mod prelude {
     pub use crate::{
-        any, boxed, generate_with, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof,
-        proptest, Any, Arbitrary, Just, OneOf, Strategy, TestCaseError, TestRng,
+        any, boxed, generate_with, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
+        prop_oneof, proptest, Any, Arbitrary, Just, OneOf, Strategy, TestCaseError, TestRng,
     };
 }
 

@@ -71,6 +71,7 @@ const FULL_CHECK: RunOptions = RunOptions {
     check_invariants: true,
     invariant_stride: 1,
     trace_hash: true,
+    telemetry: None,
 };
 
 /// Steady state: constant arrivals and departures around equilibrium.
@@ -175,6 +176,7 @@ fn harness_detects_planted_corruption() {
             check_invariants: true,
             invariant_stride: 1,
             trace_hash: false,
+            telemetry: None,
         });
     let mut chk = run.invariants.expect("checker requested");
     assert!(chk.is_clean());

@@ -1,0 +1,175 @@
+//! Telemetry end-to-end: windowed metrics ride a scenario run without
+//! perturbing it.
+//!
+//! The acceptance contract for the observability layer: telemetry is
+//! passive (trace hashes are identical with it on or off, and still
+//! match the golden hash), windows land on the configured sim-time
+//! cadence, engine counters agree with the engine's own accounting, the
+//! protocol series are populated, and the JSONL/profile renderings are
+//! structurally valid.
+
+use coolstreaming::telemetry::{Metric, SnapValue, TelemetryConfig};
+use coolstreaming::{RunOptions, Scenario, TelemetryRun};
+use cs_sim::SimTime;
+
+/// The golden steady-state scenario from `tests/golden/trace_hashes.txt`.
+fn golden_steady() -> Scenario {
+    Scenario::steady(0.4)
+        .with_seed(301)
+        .with_window(SimTime::ZERO, SimTime::from_mins(6))
+}
+
+fn with_telemetry(window_secs: u64, profile: bool) -> RunOptions {
+    RunOptions {
+        check_invariants: false,
+        invariant_stride: 0,
+        trace_hash: true,
+        telemetry: Some(TelemetryConfig {
+            window: SimTime::from_secs(window_secs),
+            profile,
+        }),
+    }
+}
+
+const HASH_ONLY: RunOptions = RunOptions {
+    check_invariants: false,
+    invariant_stride: 0,
+    trace_hash: true,
+    telemetry: None,
+};
+
+fn run_golden() -> (Option<u64>, TelemetryRun) {
+    let run = golden_steady().run_observed(with_telemetry(300, true));
+    let tel = run.telemetry.expect("telemetry requested");
+    (run.trace_hash, tel)
+}
+
+#[test]
+fn telemetry_is_passive_and_matches_golden_hash() {
+    let plain = golden_steady().run_observed(HASH_ONLY);
+    let (hash, tel) = run_golden();
+    assert_eq!(
+        plain.trace_hash, hash,
+        "telemetry changed the dispatch sequence"
+    );
+    // Golden steady_state hash from tests/golden/trace_hashes.txt.
+    assert_eq!(hash, Some(0xfd00912eb62e19b3), "golden trace hash moved");
+    assert!(tel.events > 0);
+}
+
+#[test]
+fn windows_follow_the_simtime_cadence() {
+    let (_, tel) = run_golden();
+    // 6 sim-minutes with 5-minute windows: one full window closed by the
+    // first dispatch at-or-after t=300 s, plus the partial tail flushed
+    // at the horizon.
+    assert_eq!(tel.snapshots.len(), 2, "expected full + partial window");
+    assert_eq!(tel.snapshots[0].start, SimTime::ZERO);
+    assert_eq!(tel.snapshots[0].end, SimTime::from_secs(300));
+    assert!(!tel.snapshots[0].partial);
+    assert_eq!(tel.snapshots[1].start, SimTime::from_secs(300));
+    assert_eq!(tel.snapshots[1].end, SimTime::from_mins(6));
+    assert!(tel.snapshots[1].partial);
+    for (i, s) in tel.snapshots.iter().enumerate() {
+        assert_eq!(s.index as usize, i);
+    }
+}
+
+#[test]
+fn engine_counters_partition_the_event_total() {
+    let (_, tel) = run_golden();
+    // Registry totals across kinds equal the observer's event count…
+    let registry_total: u64 = tel
+        .registry
+        .enumerate()
+        .filter(|(_, key, _)| key.name == "engine_events_total")
+        .map(|(_, _, m)| match m {
+            Metric::Counter(n) => *n,
+            other => panic!("engine_events_total must be a counter: {other:?}"),
+        })
+        .sum();
+    assert_eq!(registry_total, tel.events);
+    // …and the per-window deltas partition the same total.
+    let window_sum: u64 = tel
+        .snapshots
+        .iter()
+        .flat_map(|s| &s.series)
+        .filter(|(id, _)| id.starts_with("engine_events_total"))
+        .map(|(_, v)| match v {
+            SnapValue::Counter { delta, .. } => *delta,
+            other => panic!("counter snapshot expected: {other:?}"),
+        })
+        .sum();
+    assert_eq!(window_sum, tel.events, "window deltas must partition total");
+}
+
+#[test]
+fn protocol_series_are_populated() {
+    let (_, tel) = run_golden();
+    for name in [
+        "proto_peers_alive",
+        "proto_peers_ready",
+        "proto_partners",
+        "proto_buffer_occupancy_blocks",
+        "proto_substream_lag_blocks",
+        "proto_mcache_size",
+        "proto_join_ready_ms",
+    ] {
+        assert!(
+            tel.registry.enumerate().any(|(_, key, _)| key.name == name),
+            "missing protocol series {name}"
+        );
+    }
+    // At a 0.4/s arrival rate the population is alive at the horizon and
+    // sessions reached media-ready, so the load-bearing series are
+    // non-trivial, not just registered.
+    match tel.registry.get("proto_peers_alive", &[]) {
+        Some(Metric::Gauge(v)) => assert!(*v > 0, "no peers alive at horizon"),
+        other => panic!("proto_peers_alive must be a gauge: {other:?}"),
+    }
+    match tel.registry.get("proto_join_ready_ms", &[]) {
+        Some(Metric::Histogram(h)) => assert!(h.count() > 0, "no join→ready latencies"),
+        other => panic!("proto_join_ready_ms must be a histogram: {other:?}"),
+    }
+}
+
+#[test]
+fn jsonl_and_profile_render_valid_shapes() {
+    let (_, tel) = run_golden();
+    for snap in &tel.snapshots {
+        let line = snap.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"window\":"), "{line}");
+        assert!(
+            line.contains("\"start_us\":") && line.contains("\"end_us\":"),
+            "{line}"
+        );
+        assert!(line.contains("\"counters\":{"), "{line}");
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+    }
+    let profile = tel.profile.expect("profiling enabled");
+    assert!(profile.events() > 0, "profiler sampled nothing");
+    let json = profile.to_json();
+    assert!(json.starts_with("{\"schema\":\"cs-telemetry-profile/1\""));
+    assert!(json.contains("\"kinds\":{"));
+}
+
+#[test]
+fn profile_off_omits_the_profiler() {
+    let run = golden_steady().run_observed(with_telemetry(300, false));
+    let tel = run.telemetry.expect("telemetry requested");
+    assert!(tel.profile.is_none());
+    assert!(!tel.snapshots.is_empty());
+}
+
+#[test]
+fn custom_window_changes_the_grid() {
+    let run = golden_steady().run_observed(with_telemetry(120, false));
+    let tel = run.telemetry.expect("telemetry requested");
+    // 6 minutes on a 2-minute grid: windows end at 120/240/360 s, the
+    // last exactly at the horizon.
+    assert_eq!(tel.snapshots.len(), 3);
+    for (i, s) in tel.snapshots.iter().enumerate() {
+        assert_eq!(s.end, SimTime::from_secs(120 * (i as u64 + 1)));
+    }
+}
