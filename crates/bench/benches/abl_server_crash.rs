@@ -106,7 +106,7 @@ fn main() {
         .filter(|n| {
             hit.world
                 .peer(n.id)
-                .map(|p| p.parents.iter().any(Option::is_some))
+                .map(|p| p.parents().iter().any(Option::is_some))
                 .unwrap_or(false)
         })
         .count();

@@ -54,8 +54,8 @@ fn main() {
             .iter_alive()
             .filter(|n| n.class.is_user())
             .filter_map(|n| world.peer(n.id))
-            .filter(|peer| peer.media_ready.is_some())
-            .map(|peer| edge.saturating_sub(peer.next_play) as f64 / bps)
+            .filter(|peer| peer.media_ready().is_some())
+            .map(|peer| edge.saturating_sub(peer.next_play()) as f64 / bps)
             .collect();
         let live_lag = lags.iter().sum::<f64>() / lags.len().max(1) as f64;
         println!(

@@ -76,14 +76,14 @@ fn time_until(
         let world = eng.world();
         let id = cs_net::NodeId(child_ix as u32);
         let Some(peer) = world.peer(id) else { continue };
-        let Some(buf) = peer.buffer.as_ref() else {
+        let Some(buf) = peer.buffer() else {
             continue;
         };
         let Some(own) = buf.latest(0) else { continue };
         let edge = world.params.live_edge(t).unwrap_or(0);
         let lag = edge as i64 - own as i64;
         if pred(lag) {
-            let start = peer.start_sub.expect("subscribed");
+            let start = peer.start_sub().expect("subscribed");
             return Some((t.saturating_sub(start).as_secs_f64(), t));
         }
     }
@@ -147,7 +147,7 @@ fn main() {
     let lag_of = |eng: &Engine<CsWorld>, ix: u32, t: SimTime| -> f64 {
         let world = eng.world();
         let peer = world.peer(cs_net::NodeId(2 + ix)).expect("alive");
-        let own = peer.buffer.as_ref().and_then(|b| b.latest(0)).unwrap_or(0);
+        let own = peer.buffer().and_then(|b| b.latest(0)).unwrap_or(0);
         world.params.live_edge(t).unwrap_or(0) as f64 - own as f64
     };
     let t0 = SimTime::from_secs(120);

@@ -12,7 +12,7 @@ use std::rc::Rc;
 use coolstreaming::{RunOptions, Scenario};
 use criterion::{black_box, Criterion};
 use cs_bench::{banner, shape_check};
-use cs_sim::{Ctx, Engine, Observer, SimTime, TraceHasher, World};
+use cs_sim::{Ctx, Engine, KindClassify, Observer, SimTime, TraceHasher, World};
 
 /// A synthetic self-scheduling world: the tightest possible dispatch
 /// loop, so the per-event hook cost is maximally visible.
@@ -22,6 +22,13 @@ struct Ticker {
 
 #[derive(Clone, Copy)]
 struct Tick;
+
+struct TickKinds;
+impl KindClassify<Tick> for TickKinds {
+    fn class(_: &Tick) -> (u8, &'static str) {
+        (0, "tick")
+    }
+}
 
 impl World for Ticker {
     type Event = Tick;
@@ -71,9 +78,7 @@ fn main() {
     });
     c.bench_function("ticker/trace_hasher", |b| {
         b.iter(|| {
-            let h = Rc::new(RefCell::new(TraceHasher::new(
-                (|_: &Tick| "tick") as fn(&Tick) -> &'static str,
-            )));
+            let h = Rc::new(RefCell::new(TraceHasher::<Tick, TickKinds>::new()));
             run_ticker(Some(Box::new(Rc::clone(&h))));
             let hash = h.borrow().hash();
             black_box(hash)

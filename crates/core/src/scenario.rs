@@ -15,7 +15,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cs_net::{Bandwidth, ConnectivityPolicy, LatencyModel, Network};
-use cs_proto::{finalize_sessions, CsWorld, Event, InvariantChecker, Params, ProtoTelemetry};
+use cs_proto::{
+    finalize_sessions, CsWorld, Event, EventKinds, InvariantChecker, Params, ProtoTelemetry,
+};
 use cs_sim::{Engine, MultiObserver, RunStats, SimTime, TraceHasher};
 use cs_telemetry::{
     DispatchProfiler, MetricRegistry, TelemetryConfig, TelemetryObserver, WindowSnapshot,
@@ -174,11 +176,9 @@ impl Scenario {
                 options.invariant_stride,
             )))
         });
-        let hasher = options.trace_hash.then(|| {
-            Rc::new(RefCell::new(TraceHasher::new(
-                Event::kind as fn(&Event) -> _,
-            )))
-        });
+        let hasher = options
+            .trace_hash
+            .then(|| Rc::new(RefCell::new(TraceHasher::<Event, EventKinds>::new())));
         // Sampler and engine observer are fused into one TelemetryPair so
         // the per-event path pays a single dyn call per hook. When the
         // pair is the *only* observer it is attached by value (recovered
@@ -310,17 +310,6 @@ impl Scenario {
 struct TelemetryPair {
     sampler: ProtoTelemetry,
     observer: TelemetryObserver<Event, EventKinds>,
-}
-
-/// Inlinable bridge from [`Event::kind_class`] to the telemetry
-/// classifier trait.
-struct EventKinds;
-
-impl cs_telemetry::KindClassify<Event> for EventKinds {
-    #[inline]
-    fn class(event: &Event) -> (u8, &'static str) {
-        event.kind_class()
-    }
 }
 
 impl cs_sim::Observer<CsWorld> for TelemetryPair {

@@ -91,6 +91,7 @@ fn main() -> ExitCode {
         println!("C2  lossy-cast              proto, model");
         println!("C3  panic-in-lib            library crates (all but cli, bench)");
         println!("S1  forbid-unsafe           every crate root (src/lib.rs, src/main.rs)");
+        println!("M1  file-size               deterministic crates, files > 800 lines");
         println!("E1  escape-missing-reason   escape comments themselves");
         println!("E2  escape-unknown-rule     escape comments themselves");
         return ExitCode::SUCCESS;

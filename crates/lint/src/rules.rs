@@ -24,6 +24,8 @@ pub enum RuleId {
     C3,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     S1,
+    /// Deterministic-scope source file grown past the size limit.
+    M1,
     /// Allow-escape comment without a reason.
     E1,
     /// Allow-escape comment naming an unknown rule.
@@ -40,6 +42,7 @@ impl RuleId {
             RuleId::C2 => "C2",
             RuleId::C3 => "C3",
             RuleId::S1 => "S1",
+            RuleId::M1 => "M1",
             RuleId::E1 => "E1",
             RuleId::E2 => "E2",
         }
@@ -54,6 +57,7 @@ impl RuleId {
             RuleId::C2 => "lossy-cast",
             RuleId::C3 => "panic-in-lib",
             RuleId::S1 => "forbid-unsafe",
+            RuleId::M1 => "file-size",
             RuleId::E1 => "escape-missing-reason",
             RuleId::E2 => "escape-unknown-rule",
         }
@@ -68,6 +72,7 @@ impl RuleId {
             RuleId::C2,
             RuleId::C3,
             RuleId::S1,
+            RuleId::M1,
         ]
     }
 }
@@ -97,6 +102,9 @@ pub struct Config {
     pub panic_exempt_crates: Vec<String>,
     /// Files exempt from D2 (the one sanctioned entropy source).
     pub entropy_files: Vec<String>,
+    /// M1: deterministic-scope source files may not exceed this many
+    /// lines (the god-object backstop; see DESIGN.md §9).
+    pub max_file_lines: u32,
 }
 
 impl Default for Config {
@@ -113,6 +121,7 @@ impl Default for Config {
             cast_crates: ["proto", "model"].map(String::from).to_vec(),
             panic_exempt_crates: ["cli", "bench"].map(String::from).to_vec(),
             entropy_files: vec!["crates/sim/src/rng.rs".to_string()],
+            max_file_lines: 800,
         }
     }
 }
@@ -125,6 +134,8 @@ pub struct FileCtx<'a> {
     pub rel_path: &'a str,
     /// True for crate root files (`src/lib.rs`, `src/main.rs`).
     pub is_crate_root: bool,
+    /// Total number of source lines (for the M1 size rule).
+    pub line_count: u32,
 }
 
 /// Integer-ish cast targets whose range is narrower than the workspace's
@@ -307,6 +318,22 @@ pub fn lint_tokens(ctx: &FileCtx<'_>, lexed: &Lexed, mask: &[bool], cfg: &Config
             1,
             RuleId::S1,
             "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+
+    // M1 — deterministic-scope files must stay decomposable. The CsWorld
+    // god-object was split along the paper's manager seams (DESIGN.md §9);
+    // this backstop keeps any det-scope file from silently regrowing.
+    if det && ctx.line_count > cfg.max_file_lines {
+        push(
+            &mut raw,
+            1,
+            RuleId::M1,
+            format!(
+                "file is {} lines (limit {}); split it along module seams or escape \
+                 on line 1 with `// cs-lint: allow(file-size) — <why one unit>`",
+                ctx.line_count, cfg.max_file_lines
+            ),
         );
     }
 

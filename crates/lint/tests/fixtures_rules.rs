@@ -103,6 +103,36 @@ fn s1_present_forbid_is_clean() {
     assert_eq!(hits("proto", true, src), vec![]);
 }
 
+/// A synthetic file of `lines` no-op lines (fixture files would need to
+/// be >800 lines on disk, so M1 sources are generated instead).
+fn long_source(lines: usize, first_line: &str) -> String {
+    let mut s = String::from(first_line);
+    s.push('\n');
+    for _ in 1..lines {
+        s.push_str("// filler\n");
+    }
+    s
+}
+
+#[test]
+fn m1_file_size_fires_in_det_scope_only() {
+    let src = long_source(801, "// big module");
+    assert_eq!(hits("proto", false, &src), vec![("M1", 1)]);
+    // At the limit exactly: clean.
+    assert_eq!(hits("proto", false, &long_source(800, "// ok")), vec![]);
+    // `analysis` is outside the deterministic scope.
+    assert_eq!(hits("analysis", false, &src), vec![]);
+}
+
+#[test]
+fn m1_is_escapable_on_line_one() {
+    let src = long_source(
+        801,
+        "// cs-lint: allow(file-size) — generated table, one logical unit",
+    );
+    assert_eq!(hits("proto", false, &src), vec![]);
+}
+
 #[test]
 fn escapes_suppress_and_misuse_is_flagged() {
     let src = include_str!("fixtures/escapes.rs");

@@ -161,20 +161,20 @@ impl InvariantChecker {
 
             // Oracle 2: partner bound.
             let max = world.params.max_partners_for(info.class);
-            if peer.partners.len() > max {
+            if peer.partners().len() > max {
                 self.record(
                     now,
                     "partner-bound",
                     format!(
                         "{:?} has {} partners > M = {max}",
                         info.id,
-                        peer.partners.len()
+                        peer.partners().len()
                     ),
                 );
             }
 
             // Oracle 3: symmetry, liveness, complementary directions.
-            for (&q, view) in &peer.partners {
+            for (&q, view) in peer.partners() {
                 if !world.net.is_alive(q) {
                     self.record(
                         now,
@@ -183,7 +183,7 @@ impl InvariantChecker {
                     );
                     continue;
                 }
-                match world.peer(q).and_then(|qp| qp.partners.get(&info.id)) {
+                match world.peer(q).and_then(|qp| qp.partners().get(&info.id)) {
                     None => self.record(
                         now,
                         "partner-symmetry",
@@ -205,20 +205,20 @@ impl InvariantChecker {
             }
 
             // Oracle 4: sub-stream coverage and parent validity.
-            if peer.parents.len() != k {
+            if peer.parents().len() != k {
                 self.record(
                     now,
                     "substream-coverage",
                     format!(
                         "{:?} has {} parent slots, expected K = {k}",
                         info.id,
-                        peer.parents.len()
+                        peer.parents().len()
                     ),
                 );
             }
-            for (j, parent) in peer.parents.iter().enumerate() {
+            for (j, parent) in peer.parents().iter().enumerate() {
                 let Some(p) = parent else { continue };
-                if !peer.partners.contains_key(p) {
+                if !peer.partners().contains_key(p) {
                     self.record(
                         now,
                         "parent-is-partner",
@@ -231,7 +231,7 @@ impl InvariantChecker {
                 let listed = world
                     .peer(*p)
                     .map(|pp| {
-                        pp.children
+                        pp.children()
                             .iter()
                             .any(|&(c, cj)| c == info.id && cj as usize == j)
                     })
@@ -249,12 +249,12 @@ impl InvariantChecker {
             }
 
             // Oracle 5: child backlinks (dead children are cleaned lazily).
-            for &(c, j) in &peer.children {
+            for &(c, j) in peer.children() {
                 if !world.net.is_alive(c) {
                     continue;
                 }
                 if let Some(cp) = world.peer(c) {
-                    if cp.parents.get(j as usize).copied().flatten() != Some(info.id) {
+                    if cp.parents().get(j as usize).copied().flatten() != Some(info.id) {
                         self.record(
                             now,
                             "child-backlink",
@@ -268,7 +268,7 @@ impl InvariantChecker {
             }
 
             // Oracle 6: buffer heads never pass the source's live edge.
-            if let Some(buf) = &peer.buffer {
+            if let Some(buf) = peer.buffer() {
                 for i in 0..world.params.substreams {
                     if let Some(h) = buf.latest(i) {
                         if live_edge.is_none() || Some(h) > live_edge {
@@ -286,7 +286,7 @@ impl InvariantChecker {
             }
 
             // Oracle 7: mCache referential integrity.
-            for e in peer.mcache.iter() {
+            for e in peer.mcache().iter() {
                 if e.id == info.id {
                     self.record(now, "mcache-self", format!("{:?} caches itself", info.id));
                 }
@@ -360,8 +360,10 @@ impl Observer<CsWorld> for InvariantChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::membership::Membership;
     use crate::params::Params;
-    use crate::peer::PartnerView;
+    use crate::partnership::{PartnerView, Partnership};
+    use crate::stream::Stream;
     use cs_net::{Bandwidth, ConnectivityPolicy, LatencyModel, Network, NodeId};
 
     fn tiny_world() -> CsWorld {
@@ -383,23 +385,19 @@ mod tests {
         let mut world = tiny_world();
         let a = world.servers[0];
         let k = world.params.substreams as usize;
-        // Reach in through the public test-only accessor path: build the
-        // corruption via direct session/peer surgery. `peer` is read-only,
-        // so corrupt through a fresh world instead: fabricate a one-sided
-        // partner view on server a pointing at server b.
+        // Corrupt through the partnership manager's test injector:
+        // fabricate a one-sided partner view on server a pointing at
+        // server b.
         let b = world.servers[1];
-        world
-            .peer_mut_for_tests(a)
-            .expect("server peer")
-            .partners
-            .insert(
-                b,
-                PartnerView {
-                    latest: vec![None; k],
-                    outgoing: true,
-                    since: SimTime::ZERO,
-                },
-            );
+        Partnership::of(&mut world).inject_view(
+            a,
+            b,
+            PartnerView {
+                latest: vec![None; k],
+                outgoing: true,
+                since: SimTime::ZERO,
+            },
+        );
         let mut chk = InvariantChecker::new();
         chk.check_world(SimTime::from_secs(1), &world);
         assert!(!chk.is_clean());
@@ -419,7 +417,7 @@ mod tests {
         let k = world.params.substreams;
         let mut buf = crate::buffer::StreamBuffer::new(k, 0);
         buf.advance(0, 1_000_000); // far past any early live edge
-        world.peer_mut_for_tests(a).expect("server peer").buffer = Some(buf);
+        Stream::of(&mut world).inject_buffer(a, buf);
         let mut chk = InvariantChecker::new();
         chk.check_world(SimTime::from_secs(1), &world);
         assert!(
@@ -439,11 +437,7 @@ mod tests {
             added_at: SimTime::ZERO,
         };
         let mut rng = cs_sim::rng::Xoshiro256PlusPlus::new(1);
-        world
-            .peer_mut_for_tests(a)
-            .expect("server peer")
-            .mcache
-            .insert(entry, crate::params::ReplacePolicy::Random, &mut rng);
+        Membership::of(&mut world).inject_cache_entry(a, entry, &mut rng);
         let mut chk = InvariantChecker::new();
         chk.check_world(SimTime::from_secs(1), &world);
         assert!(
@@ -478,11 +472,7 @@ mod tests {
             added_at: SimTime::ZERO,
         };
         let mut rng = cs_sim::rng::Xoshiro256PlusPlus::new(2);
-        world
-            .peer_mut_for_tests(a)
-            .expect("server peer")
-            .mcache
-            .insert(entry, crate::params::ReplacePolicy::Random, &mut rng);
+        Membership::of(&mut world).inject_cache_entry(a, entry, &mut rng);
         let mut chk = InvariantChecker::new();
         for _ in 0..(MAX_RECORDED as u64 + 10) {
             chk.check_world(SimTime::from_secs(1), &world);

@@ -4,18 +4,22 @@
 //! streaming system described in §III–§IV of the paper, structured after
 //! Fig. 1's three modules:
 //!
-//! * **Membership manager** — [`MCache`] partial views filled by the
-//!   [`Bootstrap`] tracker and gossip;
-//! * **Partnership manager** — bounded partner sets with periodic
-//!   buffer-map ([`BufferMap`]) exchange;
-//! * **Stream manager** — sub-stream subscriptions ([`StreamBuffer`],
-//!   Fig. 2), the §IV.A join position rule (`m − T_p`), parent selection,
-//!   and peer adaptation driven by inequalities (1)/(2) with the `T_a`
-//!   cool-down.
+//! * **Membership manager** — the [`membership`] module: [`MCache`]
+//!   partial views filled by the [`Bootstrap`] tracker and gossip;
+//! * **Partnership manager** — the [`partnership`] module: bounded
+//!   partner sets with periodic buffer-map ([`BufferMap`]) exchange and
+//!   peer adaptation driven by inequalities (1)/(2) with the `T_a`
+//!   cool-down;
+//! * **Stream manager** — the [`stream`] module: sub-stream
+//!   subscriptions ([`StreamBuffer`], Fig. 2), the §IV.A join position
+//!   rule (`m − T_p`), parent selection, and the push schedule (Eq. 5).
 //!
-//! [`CsWorld`] wires these into a `cs-sim` event loop together with the
-//! dedicated servers, the source, and the `cs-logging` measurement
-//! apparatus. All tunables live in [`Params`] (Table I).
+//! Each manager owns its slice of per-peer state ([`MembershipState`],
+//! [`PartnershipState`], [`StreamState`]) and operates on the shared
+//! [`CsWorld`], which keeps only the event alphabet and the dispatch
+//! table. DESIGN.md §9 maps the modules to the paper's Fig. 1 and lists
+//! the allowed inter-manager calls. All tunables live in [`Params`]
+//! (Table I).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,20 +28,29 @@ mod bootstrap;
 mod buffer;
 mod invariant;
 mod mcache;
+pub mod membership;
 mod params;
+pub mod partnership;
 mod peer;
 mod session;
 mod snapshot;
+pub mod stream;
 mod telemetry;
 mod world;
+
+#[cfg(test)]
+mod partnership_tests;
 
 pub use bootstrap::Bootstrap;
 pub use buffer::{BufferMap, StreamBuffer};
 pub use invariant::{InvariantChecker, Violation};
 pub use mcache::{MCache, McEntry};
+pub use membership::MembershipState;
 pub use params::{Allocation, Params, ReplacePolicy, StartPolicy};
-pub use peer::{PartnerView, Peer, ReportCounters};
-pub use session::{DepartReason, SessionRecord};
+pub use partnership::{PartnerView, PartnershipState};
+pub use peer::Peer;
+pub use session::{finalize_sessions, user_classes, DepartReason, SessionRecord};
 pub use snapshot::{bfs_depths, edge_bucket, EdgeBucket, TopologySnapshot};
+pub use stream::{ReportCounters, StreamState};
 pub use telemetry::ProtoTelemetry;
-pub use world::{finalize_sessions, user_classes, CsWorld, Event, UserSpec, WorldStats};
+pub use world::{CsWorld, Event, EventKinds, UserSpec, WorldStats};

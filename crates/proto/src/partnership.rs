@@ -1,0 +1,496 @@
+//! The partnership manager (§III.B / Fig. 1).
+//!
+//! Owns the bounded partner set of every node: establishment
+//! (`Partnership::try_add_partner`), the periodic partner-view/BM
+//! exchange (`Partnership::refresh_views`), refill towards the target
+//! partner count (`Partnership::maintain`), the §IV.B adaptation
+//! inequalities (1)/(2) under the `T_a` cool-down
+//! (`Partnership::adapt`), partner re-selection when no partner can
+//! serve a starving sub-stream (`Partnership::reselect_partner`), and
+//! all depart bookkeeping (`Partnership::depart`).
+//!
+//! Allowed inter-manager calls (see DESIGN.md §9): partnership asks the
+//! membership manager for fresh candidates (`Membership::candidates` in
+//! [`crate::membership`]) and asks the stream manager for parent choices
+//! and the advertised buffer maps (`Stream::choose_parent` and
+//! `advertised_bm` in [`crate::stream`]).
+
+use cs_logging::{ActivityKind, Report};
+use cs_net::NodeId;
+use cs_sim::rng::Xoshiro256PlusPlus;
+use cs_sim::{Ctx, SimTime};
+use rand::Rng;
+
+use crate::membership::Membership;
+use crate::session::DepartReason;
+use crate::stream::{advertised_bm, Stream};
+use crate::world::{CsWorld, Event, UserSpec};
+
+mod state;
+
+pub use state::{PartnerView, PartnershipState};
+
+/// The partnership manager: partner maintenance and adaptation over the
+/// shared world.
+pub(crate) struct Partnership<'w> {
+    w: &'w mut CsWorld,
+}
+
+impl<'w> Partnership<'w> {
+    /// Borrow the world as its partnership manager.
+    pub(crate) fn of(w: &'w mut CsWorld) -> Self {
+        Partnership { w }
+    }
+}
+
+impl Partnership<'_> {
+    /// Attempt a partnership initiated by `a` towards `b`. Respects both
+    /// sides' partner bounds and the middlebox policy.
+    pub(crate) fn try_add_partner(&mut self, a: NodeId, b: NodeId, now: SimTime) -> bool {
+        if a == b || !self.w.net.is_alive(a) || !self.w.net.is_alive(b) {
+            return false;
+        }
+        let (a_max, b_max) = (
+            self.w.params.max_partners_for(self.w.net.node(a).class),
+            self.w.params.max_partners_for(self.w.net.node(b).class),
+        );
+        let already = self
+            .w
+            .peer(a)
+            .map(|p| p.partners().contains_key(&b))
+            .unwrap_or(true);
+        if already {
+            return false;
+        }
+        let (a_cnt, b_cnt) = (
+            self.w
+                .peer(a)
+                .map(|p| p.partners().len())
+                .unwrap_or(usize::MAX),
+            self.w
+                .peer(b)
+                .map(|p| p.partners().len())
+                .unwrap_or(usize::MAX),
+        );
+        if a_cnt >= a_max || b_cnt >= b_max {
+            return false;
+        }
+        if self.w.net.try_connect(a, b).is_err() {
+            self.w.stats.partnership_failures += 1;
+            // The target's middlebox drops inbound SYNs; remembering it as
+            // a candidate would only burn future attempts.
+            if let Some(pa) = self.w.peer_mut(a) {
+                pa.membership.forget(b);
+            }
+            return false;
+        }
+        let bm_b = advertised_bm(self.w, b, now);
+        let bm_a = advertised_bm(self.w, a, now);
+        // cs-lint: allow(panic-in-lib) — the dead-peer early-return above guarantees both peers are alive here
+        let (pa, pb) = self.w.two_mut(a, b).expect("both alive");
+        pa.partnership.insert(
+            b,
+            PartnerView {
+                latest: bm_b,
+                outgoing: true,
+                since: now,
+            },
+        );
+        pb.partnership.insert(
+            a,
+            PartnerView {
+                latest: bm_a,
+                outgoing: false,
+                since: now,
+            },
+        );
+        self.w.stats.partnerships += 1;
+        true
+    }
+
+    /// Refresh every partner view of `id` from the partners' advertised
+    /// buffer maps; prune partners that died since the last exchange.
+    pub(crate) fn refresh_views(&mut self, id: NodeId, now: SimTime) {
+        let partner_ids: Vec<NodeId> = self
+            .w
+            .peer(id)
+            .map(|p| p.partners().keys().copied().collect())
+            .unwrap_or_default();
+        let mut dead = Vec::new();
+        let bm_wire =
+            40 + 8 * self.w.params.substreams as u64 + self.w.params.substreams.div_ceil(8) as u64;
+        for q in &partner_ids {
+            if self.w.net.is_alive(*q) {
+                let bm = advertised_bm(self.w, *q, now);
+                self.w.stats.control_bytes += bm_wire;
+                if let Some(p) = self.w.peer_mut(id) {
+                    if let Some(view) = p.partnership.view_mut(*q) {
+                        view.latest = bm;
+                    }
+                }
+            } else {
+                dead.push(*q);
+            }
+        }
+        for q in dead {
+            if let Some(p) = self.w.peer_mut(id) {
+                p.partnership.remove(q);
+                p.membership.forget(q);
+                p.stream.clear_parent_slots_of(q);
+            }
+        }
+    }
+
+    /// Partner maintenance: refill towards the target partner count with
+    /// candidates obtained from the membership manager.
+    pub(crate) fn maintain(&mut self, id: NodeId, now: SimTime) {
+        let Some(p) = self.w.peer(id) else { return };
+        let (cur_partners, target) = (p.partners().len(), self.w.params.target_partners);
+        if cur_partners >= target {
+            return;
+        }
+        let want = (target - cur_partners) * 2;
+        let picks = Membership::of(self.w).candidates(id, want);
+        let mut established = 0;
+        for e in picks {
+            if established + cur_partners >= target {
+                break;
+            }
+            if !self.w.net.is_alive(e.id) {
+                if let Some(p) = self.w.peer_mut(id) {
+                    p.membership.forget(e.id);
+                }
+                continue;
+            }
+            if self.try_add_partner(id, e.id, now) {
+                established += 1;
+            }
+        }
+    }
+
+    /// Peer adaptation: repair dead parent slots unconditionally; apply
+    /// the inequality triggers under the cool-down.
+    pub(crate) fn adapt(&mut self, id: NodeId, now: SimTime) {
+        let k = self.w.params.substreams;
+        let Some(peer) = self.w.peer(id) else { return };
+        if peer.buffer().is_none() {
+            return;
+        }
+        let allowed = peer.adaptation_allowed(now, self.w.params.ta);
+        let global_best: Option<u64> = peer
+            .partners()
+            .values()
+            .flat_map(|v| v.latest.iter().flatten().copied())
+            .max();
+        // §III.B "insufficient bit rate" condition: once playing, a
+        // shrinking playout lead means the aggregate receive rate is
+        // below the stream rate even when no single sub-stream stands out
+        // (uniform starvation under peer competition). In that state the
+        // sub-streams trailing the live edge the most get re-selected.
+        let live_edge = self.w.params.live_edge(now);
+        let lead = peer
+            .buffer()
+            // cs-lint: allow(panic-in-lib) — this adaptation path is only reached after the buffer-present check at the call site
+            .expect("checked")
+            .contiguous_edge()
+            .map(|e| e.saturating_sub(peer.next_play()));
+        // Low lead triggers re-selection only while the lead is still
+        // shrinking; during recovery after a switch the node holds.
+        let lead_low = peer.media_ready().is_some()
+            && match lead {
+                Some(l) => {
+                    l < self.w.params.low_water_blocks
+                        && peer.partnership.last_lead.is_none_or(|prev| l < prev)
+                }
+                None => true,
+            };
+        if let Some(l) = lead {
+            if let Some(p) = self.w.peer_mut(id) {
+                p.partnership.last_lead = Some(l);
+            }
+        }
+        let Some(peer) = self.w.peer(id) else { return };
+        let mut repairs = Vec::new();
+        let mut adaptations = Vec::new();
+        for j in 0..k {
+            let parent = peer.parents()[j as usize];
+            match parent {
+                None => repairs.push(j),
+                Some(p) => {
+                    if !allowed {
+                        continue;
+                    }
+                    // cs-lint: allow(panic-in-lib) — same buffer-present guarantee as the lead computation above
+                    let buf = peer.buffer().expect("checked");
+                    // A sub-stream with nothing received yet counts from
+                    // just before its first wanted block.
+                    let own = buf
+                        .latest(j)
+                        .unwrap_or_else(|| buf.first_wanted(j).saturating_sub(k as u64));
+                    // Inequality (1): this node's receipt of sub-stream j
+                    // lags what its parent already holds by T_s — the
+                    // parent cannot (or will not) push fast enough.
+                    let ineq1 = match peer.partners().get(&p).and_then(|v| v.latest[j as usize]) {
+                        Some(pl) => pl.saturating_sub(own) >= self.w.params.ts_blocks,
+                        None => false,
+                    };
+                    // Inequality (2): parent lags the best partner by T_p.
+                    let ineq2 = match (global_best, peer.partners().get(&p)) {
+                        (Some(best), Some(view)) => match view.latest[j as usize] {
+                            Some(pj) => best.saturating_sub(pj) >= self.w.params.tp_blocks,
+                            None => true,
+                        },
+                        _ => false,
+                    };
+                    // Insufficient-rate reselection for sub-streams
+                    // trailing the live edge well beyond the join offset.
+                    let starving = lead_low
+                        && match live_edge {
+                            Some(edge) => edge.saturating_sub(own) >= 2 * self.w.params.tp_blocks,
+                            None => false,
+                        };
+                    if ineq1 || ineq2 || starving {
+                        adaptations.push(j);
+                    }
+                }
+            }
+        }
+        for j in repairs {
+            if let Some(parent) = Stream::of(self.w).choose_parent(id, j) {
+                Stream::of(self.w).subscribe(id, j, parent);
+                self.w.stats.parent_repairs += 1;
+            }
+        }
+        if !adaptations.is_empty() {
+            let mut adapted = false;
+            let mut starved = false;
+            for j in adaptations {
+                if let Some(parent) = Stream::of(self.w).choose_parent(id, j) {
+                    Stream::of(self.w).subscribe(id, j, parent);
+                    adapted = true;
+                } else {
+                    starved = true;
+                }
+            }
+            if adapted {
+                self.w.stats.adaptations += 1;
+                if let Some(p) = self.w.peer_mut(id) {
+                    p.partnership.last_adapt = Some(now);
+                    p.stream.count_adaptation();
+                }
+                self.w.sessions[id.index()].adaptations += 1;
+            }
+            if starved {
+                // §III.B partner re-selection: no partner can serve the
+                // starving sub-stream(s), so drop the most useless partner
+                // and recruit a fresh candidate from the mCache.
+                self.reselect_partner(id, now);
+            }
+        }
+    }
+
+    /// Drop the least useful partner (not currently a parent, oldest
+    /// buffer map) and try one fresh mCache candidate in its place.
+    pub(crate) fn reselect_partner(&mut self, id: NodeId, now: SimTime) {
+        let victim = {
+            let Some(p) = self.w.peer(id) else { return };
+            let parents: Vec<NodeId> = p.parents().iter().flatten().copied().collect();
+            p.partners()
+                .iter()
+                .filter(|(q, _)| !parents.contains(q))
+                .min_by_key(|(_, view)| view.latest.iter().flatten().copied().max().unwrap_or(0))
+                .map(|(&q, _)| q)
+        };
+        if let Some(victim) = victim {
+            if let Some(p) = self.w.peer_mut(id) {
+                p.partnership.remove(victim);
+            }
+            if let Some(vp) = self.w.peer_mut(victim) {
+                vp.partnership.remove(id);
+                vp.stream.clear_parent_slots_of(id);
+                vp.stream.remove_child_all(id);
+            }
+            if let Some(pp) = self.w.peer_mut(id) {
+                pp.stream.remove_child_all(victim);
+            }
+        }
+        let pick = Membership::of(self.w)
+            .candidates(id, 1)
+            .first()
+            .map(|e| e.id);
+        if let Some(cand) = pick {
+            if self.w.net.is_alive(cand) {
+                self.try_add_partner(id, cand, now);
+            } else if let Some(p) = self.w.peer_mut(id) {
+                p.membership.forget(cand);
+            }
+        }
+    }
+
+    /// Tear a peer out of the overlay and finalize its session record.
+    pub(crate) fn depart(
+        &mut self,
+        id: NodeId,
+        now: SimTime,
+        reason: DepartReason,
+    ) -> Option<UserSpec> {
+        if !self.w.net.is_alive(id) || !self.w.net.node(id).class.is_user() {
+            return None;
+        }
+        let (
+            user,
+            private,
+            partners,
+            children,
+            parents,
+            retries_left,
+            retry_index,
+            leave_at,
+            patience,
+            class,
+            upload,
+        ) = {
+            let p = self.w.peer(id)?;
+            (
+                p.user,
+                p.private_addr(),
+                p.partners().keys().copied().collect::<Vec<_>>(),
+                p.children().to_vec(),
+                p.parents().to_vec(),
+                p.retries_left,
+                p.retry_index,
+                p.intended_leave,
+                p.patience,
+                p.class,
+                p.upload,
+            )
+        };
+        // Detach from partners (and their parent slots pointing at us).
+        for q in partners {
+            if let Some(qp) = self.w.peer_mut(q) {
+                qp.partnership.remove(id);
+                qp.stream.clear_parent_slots_of(id);
+                qp.stream.remove_child_all(id);
+            }
+        }
+        // Orphan our children (they repair at their next BmTick).
+        for (c, j) in children {
+            if let Some(cp) = self.w.peer_mut(c) {
+                cp.stream.unset_parent_if(j, id);
+            }
+        }
+        // Detach from our parents' child lists.
+        for p in parents.into_iter().flatten() {
+            if let Some(pp) = self.w.peer_mut(p) {
+                pp.stream.remove_child_all(id);
+            }
+        }
+        self.w.bootstrap.deregister(id);
+        self.w.net.remove_node(id);
+        self.w.remove_peer(id);
+
+        let rec = &mut self.w.sessions[id.index()];
+        rec.leave = Some(now);
+        rec.reason = Some(reason);
+        self.w.log.report(
+            now,
+            &Report::Activity {
+                user,
+                node: id.0,
+                kind: ActivityKind::Leave,
+                private_addr: private,
+            },
+        );
+
+        match reason {
+            DepartReason::Finished => self.w.stats.finished_departs += 1,
+            DepartReason::Impatient => self.w.stats.impatient_departs += 1,
+            DepartReason::GiveUp => self.w.stats.giveup_departs += 1,
+            DepartReason::StillActive => {}
+        }
+
+        // Retry decision: impatient and give-up sessions re-enter if the
+        // user has retries and meaningful watch time left.
+        let remaining = leave_at.saturating_sub(now);
+        if reason != DepartReason::Finished
+            && retries_left > 0
+            && remaining > SimTime::from_secs(30)
+        {
+            return Some(UserSpec {
+                user,
+                class,
+                upload,
+                leave_at,
+                patience,
+                retries_left: retries_left - 1,
+                retry_index: retry_index + 1,
+            });
+        }
+        None
+    }
+
+    /// The user's patience for media-ready ran out: depart impatiently if
+    /// the player still hasn't started. Returns a retry spec if the user
+    /// re-enters.
+    pub(crate) fn patience_check(&mut self, id: NodeId, now: SimTime) -> Option<UserSpec> {
+        let not_ready = self.w.net.is_alive(id)
+            && self.w.peer(id).map(|p| p.media_ready().is_none()) == Some(true);
+        if not_ready {
+            self.depart(id, now, DepartReason::Impatient)
+        } else {
+            None
+        }
+    }
+
+    /// Scheduled (intended) departure.
+    pub(crate) fn scheduled_depart(&mut self, id: NodeId, now: SimTime) {
+        if self.w.net.is_alive(id) {
+            self.depart(id, now, DepartReason::Finished);
+        }
+    }
+
+    /// Partnerships are live: pick the start position and parents, then
+    /// start the periodic machinery.
+    pub(crate) fn partners_ready(&mut self, id: NodeId, now: SimTime, ctx: &mut Ctx<'_, Event>) {
+        if !self.w.net.is_alive(id) {
+            return;
+        }
+        // Refresh views then select.
+        Stream::of(self.w).bm_tick(id, now);
+        let phase = |rng: &mut Xoshiro256PlusPlus, iv: SimTime| {
+            SimTime::from_micros(rng.gen_range(0..iv.as_micros().max(1)))
+        };
+        let (bm, sched, play, gossip, _report) = (
+            self.w.params.bm_interval,
+            self.w.params.sched_interval,
+            self.w.params.playback_interval,
+            self.w.params.gossip_interval,
+            self.w.params.report_interval,
+        );
+        ctx.schedule_in(bm + phase(&mut self.w.rng_mem, bm), Event::BmTick(id));
+        ctx.schedule_in(phase(&mut self.w.rng_mem, sched), Event::SchedRound(id));
+        ctx.schedule_in(
+            play + phase(&mut self.w.rng_mem, play),
+            Event::PlaybackTick(id),
+        );
+        ctx.schedule_in(
+            gossip + phase(&mut self.w.rng_mem, gossip),
+            Event::GossipTick(id),
+        );
+        let first_report = self.w.params.first_report_delay;
+        ctx.schedule_in(
+            first_report + phase(&mut self.w.rng_mem, first_report),
+            Event::ReportTick(id),
+        );
+    }
+
+    /// Test support: fabricate a (possibly one-sided) partner view on
+    /// `id`, bypassing the establishment protocol — for corrupting state
+    /// in invariant-oracle tests.
+    #[cfg(test)]
+    pub(crate) fn inject_view(&mut self, id: NodeId, q: NodeId, view: PartnerView) {
+        if let Some(p) = self.w.peer_mut(id) {
+            p.partnership.insert(q, view);
+        }
+    }
+}

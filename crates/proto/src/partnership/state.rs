@@ -1,0 +1,124 @@
+//! Partnership-manager-owned per-peer state: the partner set and the
+//! adaptation cool-down, mutated only from the
+//! [`partnership`](crate::partnership) module.
+
+use std::collections::BTreeMap;
+
+use cs_net::NodeId;
+use cs_sim::SimTime;
+
+/// What a peer knows about one partner: the last exchanged buffer map and
+/// the partnership direction.
+#[derive(Clone, Debug)]
+pub struct PartnerView {
+    /// Snapshot of the partner's newest seq per sub-stream, from the last
+    /// BM exchange.
+    pub latest: Vec<Option<u64>>,
+    /// `true` if we initiated this partnership (the partner is an
+    /// *outgoing* partner in the paper's terms, §V.B).
+    pub outgoing: bool,
+    /// When the partnership was established.
+    pub since: SimTime,
+}
+
+/// Partnership-manager-owned slice of per-peer state. Only the
+/// partnership module mutates it; everyone else reads through the
+/// accessors.
+#[derive(Debug)]
+pub struct PartnershipState {
+    /// Partner → last known buffer map.
+    partners: BTreeMap<NodeId, PartnerView>,
+    /// Cool-down: time of the last quality-triggered peer adaptation.
+    pub(super) last_adapt: Option<SimTime>,
+    /// Playout lead observed at the previous adaptation check, for the
+    /// insufficient-rate trend test.
+    pub(super) last_lead: Option<u64>,
+}
+
+impl PartnershipState {
+    pub(crate) fn new() -> Self {
+        PartnershipState {
+            partners: BTreeMap::new(),
+            last_adapt: None,
+            last_lead: None,
+        }
+    }
+
+    /// The partner set: partner → last exchanged buffer map.
+    pub fn partners(&self) -> &BTreeMap<NodeId, PartnerView> {
+        &self.partners
+    }
+
+    /// Number of incoming partners (they connected to us).
+    pub fn incoming_partners(&self) -> usize {
+        self.partners.values().filter(|v| !v.outgoing).count()
+    }
+
+    /// Number of outgoing partners (we connected to them).
+    pub fn outgoing_partners(&self) -> usize {
+        self.partners.values().filter(|v| v.outgoing).count()
+    }
+
+    /// Whether the cool-down timer permits a quality-triggered adaptation
+    /// now (§IV.B: once per `T_a`).
+    pub fn adaptation_allowed(&self, now: SimTime, ta: SimTime) -> bool {
+        self.last_adapt.is_none_or(|t| now.saturating_sub(t) >= ta)
+    }
+
+    /// When the last quality-triggered adaptation happened, if any.
+    pub fn last_adapt(&self) -> Option<SimTime> {
+        self.last_adapt
+    }
+
+    pub(crate) fn insert(&mut self, q: NodeId, view: PartnerView) {
+        self.partners.insert(q, view);
+    }
+
+    pub(crate) fn remove(&mut self, q: NodeId) {
+        self.partners.remove(&q);
+    }
+
+    pub(crate) fn view_mut(&mut self, q: NodeId) -> Option<&mut PartnerView> {
+        self.partners.get_mut(&q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partner_direction_counting() {
+        let mut s = PartnershipState::new();
+        s.insert(
+            NodeId(2),
+            PartnerView {
+                latest: vec![],
+                outgoing: true,
+                since: SimTime::ZERO,
+            },
+        );
+        s.insert(
+            NodeId(3),
+            PartnerView {
+                latest: vec![],
+                outgoing: false,
+                since: SimTime::ZERO,
+            },
+        );
+        assert_eq!(s.outgoing_partners(), 1);
+        assert_eq!(s.incoming_partners(), 1);
+        s.remove(NodeId(2));
+        assert_eq!(s.outgoing_partners(), 0);
+    }
+
+    #[test]
+    fn cooldown_gate() {
+        let mut s = PartnershipState::new();
+        let ta = SimTime::from_secs(20);
+        assert!(s.adaptation_allowed(SimTime::from_secs(5), ta));
+        s.last_adapt = Some(SimTime::from_secs(5));
+        assert!(!s.adaptation_allowed(SimTime::from_secs(10), ta));
+        assert!(s.adaptation_allowed(SimTime::from_secs(25), ta));
+    }
+}

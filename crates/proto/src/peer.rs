@@ -1,6 +1,11 @@
-//! Per-peer protocol state: the three modules of Fig. 1 (membership
-//! manager, partnership manager, stream manager) plus playback bookkeeping
-//! and report counters.
+//! Per-peer state: stable identity plus the three manager-owned state
+//! blocks of Fig. 1 ([`MembershipState`], [`PartnershipState`],
+//! [`StreamState`]).
+//!
+//! [`Peer`] itself only carries identity and lifetime facts; everything a
+//! manager owns lives in that manager's sub-struct, and only the owning
+//! module mutates it. The read-only delegators below give observers
+//! (invariant oracles, telemetry, snapshots, tests) one flat view.
 
 use std::collections::BTreeMap;
 
@@ -10,36 +15,10 @@ use cs_sim::SimTime;
 
 use crate::buffer::StreamBuffer;
 use crate::mcache::MCache;
+use crate::membership::MembershipState;
 use crate::params::Params;
-
-/// What a peer knows about one partner: the last exchanged buffer map and
-/// the partnership direction.
-#[derive(Clone, Debug)]
-pub struct PartnerView {
-    /// Snapshot of the partner's newest seq per sub-stream, from the last
-    /// BM exchange.
-    pub latest: Vec<Option<u64>>,
-    /// `true` if we initiated this partnership (the partner is an
-    /// *outgoing* partner in the paper's terms, §V.B).
-    pub outgoing: bool,
-    /// When the partnership was established.
-    pub since: SimTime,
-}
-
-/// Counters reset at every 5-minute status report.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ReportCounters {
-    /// Bytes uploaded since the last report.
-    pub up_bytes: u64,
-    /// Bytes downloaded since the last report.
-    pub down_bytes: u64,
-    /// Blocks whose playback deadline passed since the last report.
-    pub due: u64,
-    /// Of those, blocks missing at deadline.
-    pub missed: u64,
-    /// Peer adaptations performed since the last report.
-    pub adaptations: u32,
-}
+use crate::partnership::{PartnerView, PartnershipState};
+use crate::stream::StreamState;
 
 /// A peer (user, server, or source) participating in the overlay.
 #[derive(Debug)]
@@ -52,35 +31,8 @@ pub struct Peer {
     pub class: NodeClass,
     /// Uplink capacity.
     pub upload: Bandwidth,
-    /// Membership manager state.
-    pub mcache: MCache,
-    /// Partnership manager state: partner → last known buffer map.
-    pub partners: BTreeMap<NodeId, PartnerView>,
-    /// Stream manager: current parent per sub-stream.
-    pub parents: Vec<Option<NodeId>>,
-    /// Sub-stream subscriptions this node serves: (child, sub-stream).
-    /// Its length is the out-going sub-stream degree `D_p` of Eq. (5).
-    pub children: Vec<(NodeId, u32)>,
-    /// Buffer; `None` until the start position is chosen (§IV.A).
-    pub buffer: Option<StreamBuffer>,
     /// Join time of this incarnation.
     pub join_time: SimTime,
-    /// When the first sub-stream subscription was made.
-    pub start_sub: Option<SimTime>,
-    /// When the media player started.
-    pub media_ready: Option<SimTime>,
-    /// Cool-down: time of the last quality-triggered peer adaptation.
-    pub last_adapt: Option<SimTime>,
-    /// Consecutive playback ticks above the give-up loss threshold.
-    pub lossy_ticks: u32,
-    /// Playout lead observed at the previous adaptation check, for the
-    /// insufficient-rate trend test.
-    pub last_lead: Option<u64>,
-    /// Global seq of the next block to play (fractional position is
-    /// derived from `media_ready` time).
-    pub next_play: u64,
-    /// Since-last-report counters.
-    pub counters: ReportCounters,
     /// Which retry of the user this incarnation is (0 = first attempt).
     pub retry_index: u32,
     /// When this incarnation intends to leave.
@@ -89,6 +41,12 @@ pub struct Peer {
     pub retries_left: u32,
     /// How long the user waits for media-ready before giving up.
     pub patience: SimTime,
+    /// Membership manager state (mCache).
+    pub membership: MembershipState,
+    /// Partnership manager state (partner views, adaptation cool-down).
+    pub partnership: PartnershipState,
+    /// Stream manager state (parents, children, buffer, playback).
+    pub stream: StreamState,
 }
 
 impl Peer {
@@ -111,23 +69,14 @@ impl Peer {
             user,
             class,
             upload,
-            mcache: MCache::new(params.mcache_size),
-            partners: BTreeMap::new(),
-            parents: vec![None; params.substreams as usize],
-            children: Vec::new(),
-            buffer: None,
             join_time,
-            start_sub: None,
-            media_ready: None,
-            last_adapt: None,
-            lossy_ticks: 0,
-            last_lead: None,
-            next_play: 0,
-            counters: ReportCounters::default(),
             retry_index,
             intended_leave,
             retries_left,
             patience,
+            membership: MembershipState::new(params.mcache_size),
+            partnership: PartnershipState::new(),
+            stream: StreamState::new(params.substreams),
         }
     }
 
@@ -137,51 +86,71 @@ impl Peer {
         matches!(self.class, NodeClass::Nat | NodeClass::Upnp)
     }
 
+    /// Read-only view of the mCache (membership manager state).
+    pub fn mcache(&self) -> &MCache {
+        self.membership.cache()
+    }
+
+    /// Partner → last known buffer map (partnership manager state).
+    pub fn partners(&self) -> &BTreeMap<NodeId, PartnerView> {
+        self.partnership.partners()
+    }
+
+    /// Current parent per sub-stream (stream manager state).
+    pub fn parents(&self) -> &[Option<NodeId>] {
+        self.stream.parents()
+    }
+
+    /// Served sub-stream subscriptions: (child, sub-stream).
+    pub fn children(&self) -> &[(NodeId, u32)] {
+        self.stream.children()
+    }
+
+    /// Buffer; `None` until the start position is chosen (§IV.A).
+    pub fn buffer(&self) -> Option<&StreamBuffer> {
+        self.stream.buffer()
+    }
+
+    /// When the first sub-stream subscription was made.
+    pub fn start_sub(&self) -> Option<SimTime> {
+        self.stream.start_sub()
+    }
+
+    /// When the media player started.
+    pub fn media_ready(&self) -> Option<SimTime> {
+        self.stream.media_ready()
+    }
+
+    /// Global seq of the next block to play.
+    pub fn next_play(&self) -> u64 {
+        self.stream.next_play()
+    }
+
     /// Out-going sub-stream degree `D_p`.
     #[inline]
     pub fn out_degree(&self) -> usize {
-        self.children.len()
+        self.stream.out_degree()
     }
 
     /// Number of incoming partners (they connected to us).
     pub fn incoming_partners(&self) -> usize {
-        self.partners.values().filter(|v| !v.outgoing).count()
+        self.partnership.incoming_partners()
     }
 
     /// Number of outgoing partners (we connected to them).
     pub fn outgoing_partners(&self) -> usize {
-        self.partners.values().filter(|v| v.outgoing).count()
+        self.partnership.outgoing_partners()
     }
 
     /// Current number of distinct parents.
     pub fn parent_count(&self) -> usize {
-        let mut ps: Vec<NodeId> = self.parents.iter().flatten().copied().collect();
-        ps.sort_unstable();
-        ps.dedup();
-        ps.len()
-    }
-
-    /// Register a served sub-stream subscription.
-    pub fn add_child(&mut self, child: NodeId, substream: u32) {
-        if !self.children.contains(&(child, substream)) {
-            self.children.push((child, substream));
-        }
-    }
-
-    /// Remove a served sub-stream subscription.
-    pub fn remove_child(&mut self, child: NodeId, substream: u32) {
-        self.children.retain(|&c| c != (child, substream));
-    }
-
-    /// Remove every subscription of `child`.
-    pub fn remove_child_all(&mut self, child: NodeId) {
-        self.children.retain(|&(c, _)| c != child);
+        self.stream.parent_count()
     }
 
     /// Whether the cool-down timer permits a quality-triggered adaptation
     /// now (§IV.B: once per `T_a`).
     pub fn adaptation_allowed(&self, now: SimTime, ta: SimTime) -> bool {
-        self.last_adapt.is_none_or(|t| now.saturating_sub(t) >= ta)
+        self.partnership.adaptation_allowed(now, ta)
     }
 }
 
@@ -213,59 +182,17 @@ mod tests {
     }
 
     #[test]
-    fn child_bookkeeping() {
-        let mut p = peer(NodeClass::DirectConnect);
-        p.add_child(NodeId(2), 0);
-        p.add_child(NodeId(2), 1);
-        p.add_child(NodeId(3), 0);
-        p.add_child(NodeId(2), 0); // duplicate ignored
-        assert_eq!(p.out_degree(), 3);
-        p.remove_child(NodeId(2), 1);
-        assert_eq!(p.out_degree(), 2);
-        p.remove_child_all(NodeId(2));
-        assert_eq!(p.out_degree(), 1);
-        assert_eq!(p.children, vec![(NodeId(3), 0)]);
-    }
-
-    #[test]
-    fn parent_count_dedups_substreams() {
-        let mut p = peer(NodeClass::Nat);
-        p.parents[0] = Some(NodeId(9));
-        p.parents[1] = Some(NodeId(9));
-        p.parents[2] = Some(NodeId(4));
-        assert_eq!(p.parent_count(), 2);
-    }
-
-    #[test]
-    fn partner_direction_counting() {
-        let mut p = peer(NodeClass::Nat);
-        p.partners.insert(
-            NodeId(2),
-            PartnerView {
-                latest: vec![],
-                outgoing: true,
-                since: SimTime::ZERO,
-            },
+    fn fresh_peer_state_is_empty() {
+        let p = peer(NodeClass::DirectConnect);
+        assert!(p.partners().is_empty());
+        assert!(p.mcache().is_empty());
+        assert!(p.buffer().is_none());
+        assert_eq!(p.out_degree(), 0);
+        assert_eq!(
+            p.parents().len(),
+            Params::default().substreams as usize,
+            "one parent slot per sub-stream"
         );
-        p.partners.insert(
-            NodeId(3),
-            PartnerView {
-                latest: vec![],
-                outgoing: false,
-                since: SimTime::ZERO,
-            },
-        );
-        assert_eq!(p.outgoing_partners(), 1);
-        assert_eq!(p.incoming_partners(), 1);
-    }
-
-    #[test]
-    fn cooldown_gate() {
-        let mut p = peer(NodeClass::Nat);
-        let ta = SimTime::from_secs(20);
-        assert!(p.adaptation_allowed(SimTime::from_secs(5), ta));
-        p.last_adapt = Some(SimTime::from_secs(5));
-        assert!(!p.adaptation_allowed(SimTime::from_secs(10), ta));
-        assert!(p.adaptation_allowed(SimTime::from_secs(25), ta));
+        assert_eq!(p.parent_count(), 0);
     }
 }

@@ -8,8 +8,10 @@
 
 use cs_logging::UserId;
 use cs_net::{Bandwidth, NodeClass, NodeId};
-use cs_sim::SimTime;
+use cs_sim::{DetMap, SimTime};
 use serde::{Deserialize, Serialize};
+
+use crate::world::CsWorld;
 
 /// Why a session ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,6 +93,35 @@ impl SessionRecord {
     pub fn is_normal(&self) -> bool {
         self.start_sub.is_some() && self.ready.is_some() && self.leave.is_some()
     }
+}
+
+/// Mark every still-live session as [`DepartReason::StillActive`] at the
+/// end of a run so analysis can distinguish truncation from departure.
+pub fn finalize_sessions(world: &mut CsWorld) {
+    let ids: Vec<NodeId> = world
+        .net
+        .iter_alive()
+        .filter(|n| n.class.is_user())
+        .map(|n| n.id)
+        .collect();
+    for id in ids {
+        let rec = &mut world.sessions[id.index()];
+        if rec.reason.is_none() {
+            rec.reason = Some(DepartReason::StillActive);
+        }
+    }
+}
+
+/// A map from user id to the ground-truth class of its first session —
+/// convenient for per-class analysis joins.
+pub fn user_classes(world: &CsWorld) -> DetMap<UserId, NodeClass> {
+    let mut map = DetMap::new();
+    for rec in &world.sessions {
+        if rec.class.is_user() {
+            map.entry(rec.user).or_insert(rec.class);
+        }
+    }
+    map
 }
 
 #[cfg(test)]

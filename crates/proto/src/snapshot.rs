@@ -12,6 +12,8 @@ use cs_net::NodeClass;
 use cs_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::world::CsWorld;
+
 /// Aggregate topology metrics at one instant.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TopologySnapshot {
@@ -65,6 +67,86 @@ impl TopologySnapshot {
             self.natfw_partner_links as f64 / self.partner_links as f64
         }
     }
+}
+
+/// Measure the overlay at one instant: walk every live user peer's
+/// parents and partners (read-only, via the [`Peer`](crate::Peer)
+/// accessors) and aggregate the Fig. 4 metrics. The dispatch in
+/// `world.rs` pushes the result onto [`CsWorld::snapshots`].
+pub(crate) fn capture(world: &CsWorld, now: SimTime) -> TopologySnapshot {
+    let n = world.net.total_nodes();
+    let mut snap = TopologySnapshot {
+        time: now,
+        ..Default::default()
+    };
+    let mut children_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut streaming_nodes: Vec<usize> = Vec::new();
+    for info in world.net.iter_alive() {
+        let Some(peer) = world.peer(info.id) else {
+            continue;
+        };
+        if !info.class.is_user() {
+            continue;
+        }
+        snap.peers += 1;
+        let mut any_parent = false;
+        let mut all_public = true;
+        for parent in peer.parents().iter().flatten() {
+            any_parent = true;
+            snap.edges_total += 1;
+            children_adj[parent.index()].push(info.id.index());
+            match edge_bucket(world.net.node(*parent).class) {
+                EdgeBucket::Public => snap.edges_from_public += 1,
+                EdgeBucket::Private => {
+                    snap.edges_from_private += 1;
+                    all_public = false;
+                }
+                EdgeBucket::Server => snap.edges_from_server += 1,
+            }
+        }
+        if any_parent {
+            snap.streaming += 1;
+            streaming_nodes.push(info.id.index());
+            if all_public {
+                snap.fully_public_parents += 1;
+            }
+        }
+        // Partnership links (count unordered pairs once).
+        let my_private = matches!(info.class, NodeClass::Nat | NodeClass::Firewall);
+        for &q in peer.partners().keys() {
+            if q.index() > info.id.index() {
+                let qc = world.net.node(q).class;
+                if qc.is_user() {
+                    snap.partner_links += 1;
+                    let q_private = matches!(qc, NodeClass::Nat | NodeClass::Firewall);
+                    if my_private && q_private {
+                        snap.natfw_partner_links += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut roots: Vec<usize> = world.servers.iter().map(|s| s.index()).collect();
+    roots.push(world.source.index());
+    let depths = bfs_depths(n, &roots, &children_adj);
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for &ix in &streaming_nodes {
+        match depths[ix] {
+            Some(d) => {
+                sum += d as u64;
+                count += 1;
+                snap.max_depth = snap.max_depth.max(d);
+            }
+            None => snap.orphans += 1,
+        }
+    }
+    snap.mean_depth = if count > 0 {
+        sum as f64 / count as f64
+    } else {
+        0.0
+    };
+    snap
 }
 
 /// Compute depths with a BFS from the roots over parent→child edges.

@@ -1,0 +1,512 @@
+//! The stream manager (§IV / Fig. 1).
+//!
+//! Owns sub-stream subscriptions and the synchronization + cache buffer:
+//! parent choice under the §IV.B qualification rule
+//! (`Stream::choose_parent`), the §IV.A initial position
+//! (`Stream::select_initial`), the parent push round implementing
+//! Eq. (5) (`Stream::sched_round`), the buffer-map tick orchestration
+//! (`Stream::bm_tick`), playback deadline accounting
+//! (`Stream::playback_tick`) and the §V.A status reports
+//! (`Stream::report_tick`).
+//!
+//! Allowed inter-manager calls (see DESIGN.md §9): the stream manager
+//! reads parent candidates from the partnership manager's partner views,
+//! and delegates partner maintenance and adaptation within `bm_tick` to
+//! `Partnership` in [`crate::partnership`]. `advertised_bm` is the
+//! buffer-map read the partnership manager uses for BM exchange.
+
+use cs_logging::{ActivityKind, Report};
+use cs_net::{NodeClass, NodeId};
+use cs_sim::SimTime;
+use rand::seq::SliceRandom;
+
+use crate::buffer::StreamBuffer;
+use crate::partnership::Partnership;
+use crate::session::DepartReason;
+use crate::world::{CsWorld, UserSpec};
+
+mod state;
+
+pub use state::{ReportCounters, StreamState};
+
+/// Largest global seq `≤ edge` belonging to sub-stream `i`.
+fn align_down(edge: u64, i: u32, k: u32) -> Option<u64> {
+    let (i, k) = (i as u64, k as u64);
+    if edge >= i {
+        Some(edge - ((edge - i) % k))
+    } else {
+        None
+    }
+}
+
+/// The buffer map of node `q` as observed at `now`. Dedicated servers
+/// and the source track the live edge with a fixed small lag instead
+/// of a simulated buffer.
+pub(crate) fn advertised_bm(world: &CsWorld, q: NodeId, now: SimTime) -> Vec<Option<u64>> {
+    let k = world.params.substreams;
+    let class = world.net.node(q).class;
+    if matches!(class, NodeClass::Server | NodeClass::Source) {
+        let lagged = now.saturating_sub(world.params.server_lag);
+        match world.params.live_edge(lagged) {
+            Some(edge) => (0..k).map(|i| align_down(edge, i, k)).collect(),
+            None => vec![None; k as usize],
+        }
+    } else {
+        match world.peer(q).and_then(|p| p.buffer()) {
+            Some(buf) => (0..k).map(|i| buf.latest(i)).collect(),
+            None => vec![None; k as usize],
+        }
+    }
+}
+
+/// The stream manager: sub-stream subscription, scheduling and playback
+/// over the shared world.
+pub(crate) struct Stream<'w> {
+    w: &'w mut CsWorld,
+}
+
+impl<'w> Stream<'w> {
+    /// Borrow the world as its stream manager.
+    pub(crate) fn of(w: &'w mut CsWorld) -> Self {
+        Stream { w }
+    }
+}
+
+impl Stream<'_> {
+    /// Pick a parent for sub-stream `j` of `id` among its partners,
+    /// applying the paper's qualification rule (§IV.B): the candidate must
+    /// have newer sub-stream-`j` blocks than we do, and must itself not
+    /// lag the best partner by `T_p` or more. Random choice among the
+    /// qualified; if none qualify, a random *temporary parent* that at
+    /// least has something newer is taken (the paper's peer-competition
+    /// transient).
+    pub(crate) fn choose_parent(&mut self, id: NodeId, j: u32) -> Option<NodeId> {
+        let peer = self.w.peer(id)?;
+        let own_latest = peer.buffer().and_then(|b| b.latest(j));
+        let first_wanted = peer.buffer().map(|b| b.first_wanted(j))?;
+        let global_best: u64 = peer
+            .partners()
+            .values()
+            .flat_map(|v| v.latest.iter().flatten().copied())
+            .max()?;
+        let current = peer.parents()[j as usize];
+        let mut qualified = Vec::new();
+        let mut fallback = Vec::new();
+        for (&q, view) in peer.partners() {
+            if Some(q) == current {
+                continue;
+            }
+            let Some(qj) = view.latest[j as usize] else {
+                continue;
+            };
+            let newer = match own_latest {
+                Some(h) => qj > h,
+                None => qj + self.w.params.substreams as u64 > first_wanted,
+            };
+            if !newer {
+                continue;
+            }
+            if global_best.saturating_sub(qj) < self.w.params.tp_blocks {
+                qualified.push(q);
+            } else {
+                fallback.push(q);
+            }
+        }
+        let pool = if qualified.is_empty() {
+            &fallback
+        } else {
+            &qualified
+        };
+        pool.choose(&mut self.w.rng_sel).copied()
+    }
+
+    /// Subscribe `id`'s sub-stream `j` to `parent`, detaching any previous
+    /// parent.
+    pub(crate) fn subscribe(&mut self, id: NodeId, j: u32, parent: NodeId) {
+        let old = self
+            .w
+            .peer(id)
+            .and_then(|p| p.parents()[j as usize])
+            .filter(|&o| o != parent);
+        if let Some(o) = old {
+            if let Some(op) = self.w.peer_mut(o) {
+                op.stream.remove_child(id, j);
+            }
+        }
+        if let Some(p) = self.w.peer_mut(id) {
+            p.stream.parents[j as usize] = Some(parent);
+        }
+        if let Some(pp) = self.w.peer_mut(parent) {
+            pp.stream.add_child(id, j);
+        }
+    }
+
+    /// §IV.A initial position: pick the first block to pull according to
+    /// the configured [`StartPolicy`](crate::params::StartPolicy) (the
+    /// deployed system used `m − T_p`), then pick a parent per sub-stream.
+    /// Returns `true` if at least one subscription was made.
+    pub(crate) fn select_initial(&mut self, id: NodeId, now: SimTime) -> bool {
+        let Some(peer) = self.w.peer(id) else {
+            return false;
+        };
+        if peer.buffer().is_none() {
+            let Some(m) = peer
+                .partners()
+                .values()
+                .flat_map(|v| v.latest.iter().flatten().copied())
+                .max()
+            else {
+                return false;
+            };
+            // The oldest block still available anywhere ≈ the newest
+            // advertised block minus the cache window.
+            let n = m.saturating_sub(self.w.params.window_blocks().saturating_sub(1));
+            let start = match self.w.params.start_policy {
+                crate::params::StartPolicy::ShiftedFromLatest => {
+                    m.saturating_sub(self.w.params.tp_blocks)
+                }
+                crate::params::StartPolicy::Latest => m,
+                crate::params::StartPolicy::Oldest => n,
+                crate::params::StartPolicy::Midpoint => n + (m - n) / 2,
+            };
+            let k = self.w.params.substreams;
+            if let Some(p) = self.w.peer_mut(id) {
+                p.stream.buffer = Some(StreamBuffer::new(k, start));
+            }
+        }
+        let k = self.w.params.substreams;
+        let mut subscribed = false;
+        for j in 0..k {
+            if self.w.peer(id).map(|p| p.parents()[j as usize].is_none()) == Some(true) {
+                if let Some(parent) = self.choose_parent(id, j) {
+                    self.subscribe(id, j, parent);
+                    subscribed = true;
+                }
+            } else {
+                subscribed = true;
+            }
+        }
+        if subscribed {
+            let (user, private, first) = {
+                // cs-lint: allow(panic-in-lib) — `subscribed` can only be set while the peer is alive a few lines up
+                let p = self.w.peer(id).expect("alive");
+                (p.user, p.private_addr(), p.start_sub().is_none())
+            };
+            if first {
+                if let Some(p) = self.w.peer_mut(id) {
+                    p.stream.start_sub = Some(now);
+                }
+                self.w.sessions[id.index()].start_sub = Some(now);
+                self.w.log.report(
+                    now,
+                    &Report::Activity {
+                        user,
+                        node: id.0,
+                        kind: ActivityKind::StartSubscription,
+                        private_addr: private,
+                    },
+                );
+            }
+        }
+        subscribed
+    }
+
+    /// Buffer-map exchange, partner repair and peer adaptation for `id`:
+    /// the periodic tick that ties the three managers together. Returns
+    /// `false` once the peer is gone (the tick chain stops).
+    pub(crate) fn bm_tick(&mut self, id: NodeId, now: SimTime) -> bool {
+        if !self.w.net.is_alive(id) {
+            return false;
+        }
+        // 1. Partnership: refresh views, detect dead partners, refill.
+        Partnership::of(self.w).refresh_views(id, now);
+        Partnership::of(self.w).maintain(id, now);
+        // 2. Initial selection or adaptation.
+        let has_buffer = self.w.peer(id).map(|p| p.buffer().is_some()) == Some(true);
+        let streaming = self
+            .w
+            .peer(id)
+            .map(|p| p.parents().iter().any(Option::is_some))
+            == Some(true);
+        if !has_buffer || !streaming {
+            self.select_initial(id, now);
+        }
+        Partnership::of(self.w).adapt(id, now);
+        true
+    }
+
+    /// The parent push round for node `p` (Eq. 5: uplink split equally
+    /// across `D_p` sub-stream subscriptions, capped by the parent's own
+    /// newest block and the child's cache-window reach).
+    pub(crate) fn sched_round(&mut self, p: NodeId, now: SimTime) {
+        let k = self.w.params.substreams;
+        let round_secs = self.w.params.sched_interval.as_secs_f64();
+        let children: Vec<(NodeId, u32)> = match self.w.peer(p) {
+            Some(peer) => peer.children().to_vec(),
+            None => return,
+        };
+        if children.is_empty() {
+            return;
+        }
+        // Drop stale subscriptions first.
+        let mut live: Vec<(NodeId, u32)> = Vec::with_capacity(children.len());
+        for (c, j) in children {
+            let valid = self.w.net.is_alive(c)
+                && self
+                    .w
+                    .peer(c)
+                    .map(|cp| cp.parents()[j as usize] == Some(p))
+                    .unwrap_or(false);
+            if valid {
+                live.push((c, j));
+            } else if let Some(pp) = self.w.peer_mut(p) {
+                pp.stream.remove_child(c, j);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let d_p = live.len() as f64;
+        let upload = self.w.net.node(p).upload;
+        let total_budget = self.w.params.upload_blocks_per_sec(upload) * round_secs;
+        let equal_budget = total_budget / d_p;
+        let parent_bm = advertised_bm(self.w, p, now);
+        let window = self.w.params.window_blocks();
+        let block_bytes = self.w.params.block_bytes as u64;
+
+        // Deficit-aware allocation (§VI optimization), two phases: first
+        // guarantee every subscription its sustain rate (or the fair
+        // share when capacity is short — degenerating to Eq. 5), then
+        // hand the surplus to lagging children in proportion to their
+        // outstanding blocks.
+        let budgets: Option<Vec<f64>> = match self.w.params.allocation {
+            crate::params::Allocation::EqualSplit => None,
+            crate::params::Allocation::NeedAware => {
+                let sustain = self.w.params.substream_block_rate() * round_secs;
+                let base = sustain.min(equal_budget);
+                let leftover = (total_budget - base * d_p).max(0.0);
+                let deficits: Vec<f64> = live
+                    .iter()
+                    .map(|&(c, j)| match (parent_bm[j as usize], self.w.peer(c)) {
+                        (Some(pl), Some(cp)) => match cp.buffer() {
+                            Some(buf) => {
+                                let next = buf.next_missing(j);
+                                if pl >= next {
+                                    (((pl - next) / k as u64 + 1) as f64).min(window as f64)
+                                } else {
+                                    0.0
+                                }
+                            }
+                            None => 0.0,
+                        },
+                        _ => 0.0,
+                    })
+                    .collect();
+                let total_deficit: f64 = deficits.iter().sum();
+                Some(
+                    deficits
+                        .into_iter()
+                        .map(|d| {
+                            let extra = if total_deficit > 0.0 {
+                                leftover * d / total_deficit
+                            } else {
+                                leftover / d_p
+                            };
+                            base + extra
+                        })
+                        .collect(),
+                )
+            }
+        };
+
+        for (ix, (c, j)) in live.into_iter().enumerate() {
+            let budget_blocks = match &budgets {
+                Some(b) => b[ix],
+                None => equal_budget,
+            };
+            let Some(parent_latest) = parent_bm[j as usize] else {
+                continue;
+            };
+            let (deliver, skipped) = {
+                let Some(cp) = self.w.peer_mut(c) else {
+                    continue;
+                };
+                let Some(buf) = cp.stream.buffer.as_mut() else {
+                    continue;
+                };
+                // Blocks older than the parent's cache window are gone.
+                let mut skipped = 0;
+                if parent_latest >= window {
+                    let window_floor = parent_latest - window;
+                    if buf.next_missing(j) <= window_floor {
+                        skipped = buf.skip_to(j, window_floor);
+                    }
+                }
+                let next = buf.next_missing(j);
+                let avail = if parent_latest >= next {
+                    (parent_latest - next) / k as u64 + 1
+                } else {
+                    0
+                };
+                let credit = buf.credit_mut(j);
+                *credit += budget_blocks;
+                // cs-lint: allow(lossy-cast) — credit is non-negative and capped at 2× the per-tick budget below
+                let deliver = (credit.floor() as u64).min(avail);
+                *credit -= deliver as f64;
+                // Unused credit cannot pile into an unbounded burst.
+                let cap = (budget_blocks * 2.0).max(2.0);
+                if *credit > cap {
+                    *credit = cap;
+                }
+                if deliver > 0 {
+                    buf.advance(j, deliver);
+                    cp.stream.counters.down_bytes += deliver * block_bytes;
+                }
+                (deliver, skipped)
+            };
+            self.w.stats.blocks_skipped += skipped;
+            if deliver > 0 {
+                let bytes = deliver * block_bytes;
+                self.w.sessions[c.index()].down_bytes += bytes;
+                if let Some(pp) = self.w.peer_mut(p) {
+                    pp.stream.counters.up_bytes += bytes;
+                }
+                self.w.sessions[p.index()].up_bytes += bytes;
+                self.w.stats.blocks_delivered += deliver;
+            }
+        }
+    }
+
+    /// Playback bookkeeping. Returns a retry spec if the peer gave up.
+    pub(crate) fn playback_tick(&mut self, id: NodeId, now: SimTime) -> Option<UserSpec> {
+        let bps = self.w.params.blocks_per_sec();
+        let delay_blocks = self.w.params.playback_delay_blocks;
+        let giveup_loss = self.w.params.giveup_loss;
+        let giveup_ticks = self.w.params.giveup_ticks;
+        let (user, private) = {
+            let p = self.w.peer(id)?;
+            (p.user, p.private_addr())
+        };
+        let mut became_ready = false;
+        let mut give_up = false;
+        {
+            let p = self.w.peer_mut(id)?;
+            let s = &mut p.stream;
+            let buf = s.buffer.as_ref()?;
+            match s.media_ready {
+                None => {
+                    if buf.contiguous_len() >= delay_blocks {
+                        s.media_ready = Some(now);
+                        s.next_play = buf.start_seq();
+                        became_ready = true;
+                    }
+                }
+                Some(ready_at) => {
+                    let start = buf.start_seq();
+                    let elapsed = now.saturating_sub(ready_at).as_secs_f64();
+                    // cs-lint: allow(lossy-cast) — elapsed × blocks/s is non-negative and far below 2^53; truncation is the intended playout floor
+                    let target = start + (elapsed * bps).floor() as u64;
+                    let mut due = 0u64;
+                    let mut missed = 0u64;
+                    let from = s.next_play;
+                    // Bounded loop: at most a few dozen blocks per tick.
+                    for n in from..target {
+                        due += 1;
+                        if !buf.has_block(n) {
+                            missed += 1;
+                        }
+                    }
+                    s.next_play = target.max(from);
+                    s.counters.due += due;
+                    s.counters.missed += missed;
+                    if due > 0 {
+                        if missed as f64 / due as f64 >= giveup_loss {
+                            s.lossy_ticks += 1;
+                        } else {
+                            s.lossy_ticks = 0;
+                        }
+                        if s.lossy_ticks >= giveup_ticks {
+                            give_up = true;
+                        }
+                    }
+                    self.w.sessions[id.index()].due += due;
+                    self.w.sessions[id.index()].missed += missed;
+                }
+            }
+        }
+        if became_ready {
+            self.w.sessions[id.index()].ready = Some(now);
+            self.w.log.report(
+                now,
+                &Report::Activity {
+                    user,
+                    node: id.0,
+                    kind: ActivityKind::MediaReady,
+                    private_addr: private,
+                },
+            );
+        }
+        if give_up {
+            return Partnership::of(self.w).depart(id, now, DepartReason::GiveUp);
+        }
+        None
+    }
+
+    /// Emit the three 5-minute status reports (§V.A).
+    pub(crate) fn report_tick(&mut self, id: NodeId, now: SimTime) {
+        let Some(p) = self.w.peer_mut(id) else { return };
+        if !p.class.is_user() {
+            return;
+        }
+        let user = p.user;
+        let node = id.0;
+        let private = p.private_addr();
+        let c = p.stream.counters;
+        let incoming = u32::try_from(p.incoming_partners()).unwrap_or(u32::MAX);
+        let outgoing = u32::try_from(p.outgoing_partners()).unwrap_or(u32::MAX);
+        let parents = u32::try_from(p.parent_count()).unwrap_or(u32::MAX);
+        p.stream.counters = Default::default();
+        // Three HTTP report requests to the log server.
+        self.w.stats.control_bytes += 3 * 120;
+        self.w.log.report(
+            now,
+            &Report::Qos {
+                user,
+                node,
+                due: c.due,
+                missed: c.missed,
+            },
+        );
+        self.w.log.report(
+            now,
+            &Report::Traffic {
+                user,
+                node,
+                up: c.up_bytes,
+                down: c.down_bytes,
+            },
+        );
+        self.w.log.report(
+            now,
+            &Report::Partner {
+                user,
+                node,
+                private_addr: private,
+                incoming,
+                outgoing,
+                parents,
+                adaptations: c.adaptations,
+            },
+        );
+    }
+
+    /// Test support: install a buffer directly, bypassing the §IV.A
+    /// start-position rule — for corrupting state in invariant-oracle
+    /// tests.
+    #[cfg(test)]
+    pub(crate) fn inject_buffer(&mut self, id: NodeId, buf: StreamBuffer) {
+        if let Some(p) = self.w.peer_mut(id) {
+            p.stream.buffer = Some(buf);
+        }
+    }
+}

@@ -99,15 +99,15 @@ impl ProtoTelemetry {
         let mut ready: i64 = 0;
         for peer in world.peers().filter(|p| p.class.is_user()) {
             alive += 1;
-            if peer.media_ready.is_some() {
+            if peer.media_ready().is_some() {
                 ready += 1;
             }
-            reg.observe(self.ids.partners, peer.partners.len() as u64);
-            reg.observe(self.ids.mcache, peer.mcache.len() as u64);
-            if let Some(buf) = &peer.buffer {
+            reg.observe(self.ids.partners, peer.partners().len() as u64);
+            reg.observe(self.ids.mcache, peer.mcache().len() as u64);
+            if let Some(buf) = peer.buffer() {
                 let occupancy = buf
                     .contiguous_edge()
-                    .map(|e| (e + 1).saturating_sub(peer.next_play))
+                    .map(|e| (e + 1).saturating_sub(peer.next_play()))
                     .unwrap_or(0);
                 reg.observe(self.ids.occupancy, occupancy);
                 for i in 0..buf.substreams() {

@@ -2,6 +2,21 @@
 //! servers, the boot-strap node and the log server, driven by `cs-sim`
 //! events.
 //!
+//! This module owns only the *shared* state ([`CsWorld`]), the typed
+//! event alphabet ([`Event`]) and the dispatch table that routes each
+//! event variant to exactly one of the three managers of the paper's
+//! Fig. 1 (see DESIGN.md §9):
+//!
+//! * [`Membership`](crate::membership::Membership) — `Arrive`,
+//!   `BootstrapReply`, `GossipTick`, `SetBootstrap`, `CrashServer`;
+//! * [`Partnership`](crate::partnership::Partnership) — `PartnersReady`,
+//!   `PatienceCheck`, `Depart`;
+//! * [`Stream`](crate::stream::Stream) — `BmTick`, `SchedRound`,
+//!   `PlaybackTick`, `ReportTick`.
+//!
+//! `Snapshot` is handled by the measurement layer
+//! ([`snapshot::capture`](crate::snapshot)).
+//!
 //! Event cadence per peer (defaults in [`Params`]):
 //!
 //! * `SchedRound` — the parent push: a node's uplink is split equally
@@ -16,20 +31,20 @@
 //! * `GossipTick` — mCache dissemination (§III.B);
 //! * `ReportTick` — the 5-minute status reports of §V.A.
 
-use cs_logging::{ActivityKind, LogServer, Report, UserId};
+use cs_logging::{LogServer, UserId};
 use cs_net::{Bandwidth, Network, NodeClass, NodeId};
 use cs_sim::rng::{streams, Xoshiro256PlusPlus};
-use cs_sim::{Ctx, DetMap, SimTime, World};
-use rand::seq::SliceRandom;
+use cs_sim::{Ctx, KindClassify, SimTime, World};
 use rand::Rng;
 
 use crate::bootstrap::Bootstrap;
-use crate::buffer::StreamBuffer;
-use crate::mcache::McEntry;
+use crate::membership::Membership;
 use crate::params::Params;
-use crate::peer::{PartnerView, Peer};
-use crate::session::{DepartReason, SessionRecord};
-use crate::snapshot::{bfs_depths, edge_bucket, EdgeBucket, TopologySnapshot};
+use crate::partnership::Partnership;
+use crate::peer::Peer;
+use crate::session::SessionRecord;
+use crate::snapshot::TopologySnapshot;
+use crate::stream::Stream;
 
 /// A user arrival, produced by the workload generator.
 #[derive(Clone, Copy, Debug)]
@@ -115,6 +130,18 @@ impl Event {
     }
 }
 
+/// The canonical [`KindClassify`] classifier for [`Event`]: every
+/// instrumentation layer (per-kind counters, trace hashing, telemetry)
+/// routes through this one impl, so a renamed variant cannot
+/// desynchronize counters from golden trace hashes.
+pub struct EventKinds;
+
+impl KindClassify<Event> for EventKinds {
+    fn class(event: &Event) -> (u8, &'static str) {
+        event.kind_class()
+    }
+}
+
 /// Run-wide counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WorldStats {
@@ -174,8 +201,8 @@ pub struct CsWorld {
     /// Whether the boot-strap server is reachable (failure injection via
     /// [`Event::SetBootstrap`]).
     pub bootstrap_up: bool,
-    rng_sel: Xoshiro256PlusPlus,
-    rng_mem: Xoshiro256PlusPlus,
+    pub(crate) rng_sel: Xoshiro256PlusPlus,
+    pub(crate) rng_mem: Xoshiro256PlusPlus,
     rng_retry: Xoshiro256PlusPlus,
 }
 
@@ -307,19 +334,13 @@ impl CsWorld {
         self.peers.iter().filter_map(Option::as_ref)
     }
 
-    fn peer_mut(&mut self, id: NodeId) -> Option<&mut Peer> {
+    /// Mutable peer access, for the manager modules.
+    pub(crate) fn peer_mut(&mut self, id: NodeId) -> Option<&mut Peer> {
         self.peers.get_mut(id.index()).and_then(Option::as_mut)
     }
 
-    /// Crate-internal mutable peer access, used by the invariant
-    /// checker's tests to fabricate corrupted states.
-    #[cfg(test)]
-    pub(crate) fn peer_mut_for_tests(&mut self, id: NodeId) -> Option<&mut Peer> {
-        self.peer_mut(id)
-    }
-
     /// Simultaneous mutable access to two distinct peers.
-    fn two_mut(&mut self, a: NodeId, b: NodeId) -> Option<(&mut Peer, &mut Peer)> {
+    pub(crate) fn two_mut(&mut self, a: NodeId, b: NodeId) -> Option<(&mut Peer, &mut Peer)> {
         let (ai, bi) = (a.index(), b.index());
         assert_ne!(ai, bi);
         if ai < bi {
@@ -332,1152 +353,16 @@ impl CsWorld {
         }
     }
 
-    /// Largest global seq `≤ edge` belonging to sub-stream `i`.
-    fn align_down(edge: u64, i: u32, k: u32) -> Option<u64> {
-        let (i, k) = (i as u64, k as u64);
-        if edge >= i {
-            Some(edge - ((edge - i) % k))
-        } else {
-            None
-        }
-    }
-
-    /// The buffer map of node `q` as observed at `now`. Dedicated servers
-    /// and the source track the live edge with a fixed small lag instead
-    /// of a simulated buffer.
-    fn current_bm(&self, q: NodeId, now: SimTime) -> Vec<Option<u64>> {
-        let k = self.params.substreams;
-        let class = self.net.node(q).class;
-        if matches!(class, NodeClass::Server | NodeClass::Source) {
-            let lagged = now.saturating_sub(self.params.server_lag);
-            match self.params.live_edge(lagged) {
-                Some(edge) => (0..k).map(|i| Self::align_down(edge, i, k)).collect(),
-                None => vec![None; k as usize],
-            }
-        } else {
-            match self.peer(q).and_then(|p| p.buffer.as_ref()) {
-                Some(buf) => (0..k).map(|i| buf.latest(i)).collect(),
-                None => vec![None; k as usize],
-            }
-        }
-    }
-
-    /// Attempt a partnership initiated by `a` towards `b`. Respects both
-    /// sides' partner bounds and the middlebox policy.
-    fn try_add_partner(&mut self, a: NodeId, b: NodeId, now: SimTime) -> bool {
-        if a == b || !self.net.is_alive(a) || !self.net.is_alive(b) {
-            return false;
-        }
-        let (a_max, b_max) = (
-            self.params.max_partners_for(self.net.node(a).class),
-            self.params.max_partners_for(self.net.node(b).class),
-        );
-        let already = self
-            .peer(a)
-            .map(|p| p.partners.contains_key(&b))
-            .unwrap_or(true);
-        if already {
-            return false;
-        }
-        let (a_cnt, b_cnt) = (
-            self.peer(a).map(|p| p.partners.len()).unwrap_or(usize::MAX),
-            self.peer(b).map(|p| p.partners.len()).unwrap_or(usize::MAX),
-        );
-        if a_cnt >= a_max || b_cnt >= b_max {
-            return false;
-        }
-        if self.net.try_connect(a, b).is_err() {
-            self.stats.partnership_failures += 1;
-            // The target's middlebox drops inbound SYNs; remembering it as
-            // a candidate would only burn future attempts.
-            if let Some(pa) = self.peer_mut(a) {
-                pa.mcache.remove(b);
-            }
-            return false;
-        }
-        let bm_b = self.current_bm(b, now);
-        let bm_a = self.current_bm(a, now);
-        // cs-lint: allow(panic-in-lib) — the dead-peer early-return above guarantees both peers are alive here
-        let (pa, pb) = self.two_mut(a, b).expect("both alive");
-        pa.partners.insert(
-            b,
-            PartnerView {
-                latest: bm_b,
-                outgoing: true,
-                since: now,
-            },
-        );
-        pb.partners.insert(
-            a,
-            PartnerView {
-                latest: bm_a,
-                outgoing: false,
-                since: now,
-            },
-        );
-        self.stats.partnerships += 1;
-        true
-    }
-
-    /// Pick a parent for sub-stream `j` of `id` among its partners,
-    /// applying the paper's qualification rule (§IV.B): the candidate must
-    /// have newer sub-stream-`j` blocks than we do, and must itself not
-    /// lag the best partner by `T_p` or more. Random choice among the
-    /// qualified; if none qualify, a random *temporary parent* that at
-    /// least has something newer is taken (the paper's peer-competition
-    /// transient).
-    fn choose_parent(&mut self, id: NodeId, j: u32) -> Option<NodeId> {
-        let peer = self.peer(id)?;
-        let own_latest = peer.buffer.as_ref().and_then(|b| b.latest(j));
-        let first_wanted = peer.buffer.as_ref().map(|b| b.first_wanted(j))?;
-        let global_best: u64 = peer
-            .partners
-            .values()
-            .flat_map(|v| v.latest.iter().flatten().copied())
-            .max()?;
-        let current = peer.parents[j as usize];
-        let mut qualified = Vec::new();
-        let mut fallback = Vec::new();
-        for (&q, view) in &peer.partners {
-            if Some(q) == current {
-                continue;
-            }
-            let Some(qj) = view.latest[j as usize] else {
-                continue;
-            };
-            let newer = match own_latest {
-                Some(h) => qj > h,
-                None => qj + self.params.substreams as u64 > first_wanted,
-            };
-            if !newer {
-                continue;
-            }
-            if global_best.saturating_sub(qj) < self.params.tp_blocks {
-                qualified.push(q);
-            } else {
-                fallback.push(q);
-            }
-        }
-        let pool = if qualified.is_empty() {
-            &fallback
-        } else {
-            &qualified
-        };
-        pool.choose(&mut self.rng_sel).copied()
-    }
-
-    /// Subscribe `id`'s sub-stream `j` to `parent`, detaching any previous
-    /// parent.
-    fn subscribe(&mut self, id: NodeId, j: u32, parent: NodeId) {
-        let old = self
-            .peer(id)
-            .and_then(|p| p.parents[j as usize])
-            .filter(|&o| o != parent);
-        if let Some(o) = old {
-            if let Some(op) = self.peer_mut(o) {
-                op.remove_child(id, j);
-            }
-        }
-        if let Some(p) = self.peer_mut(id) {
-            p.parents[j as usize] = Some(parent);
-        }
-        if let Some(pp) = self.peer_mut(parent) {
-            pp.add_child(id, j);
-        }
-    }
-
-    /// §IV.A initial position: pick the first block to pull according to
-    /// the configured [`StartPolicy`] (the deployed system used
-    /// `m − T_p`), then pick a parent per sub-stream. Returns `true` if
-    /// at least one subscription was made.
-    fn select_initial(&mut self, id: NodeId, now: SimTime) -> bool {
-        let Some(peer) = self.peer(id) else {
-            return false;
-        };
-        if peer.buffer.is_none() {
-            let Some(m) = peer
-                .partners
-                .values()
-                .flat_map(|v| v.latest.iter().flatten().copied())
-                .max()
-            else {
-                return false;
-            };
-            // The oldest block still available anywhere ≈ the newest
-            // advertised block minus the cache window.
-            let n = m.saturating_sub(self.params.window_blocks().saturating_sub(1));
-            let start = match self.params.start_policy {
-                crate::params::StartPolicy::ShiftedFromLatest => {
-                    m.saturating_sub(self.params.tp_blocks)
-                }
-                crate::params::StartPolicy::Latest => m,
-                crate::params::StartPolicy::Oldest => n,
-                crate::params::StartPolicy::Midpoint => n + (m - n) / 2,
-            };
-            let k = self.params.substreams;
-            if let Some(p) = self.peer_mut(id) {
-                p.buffer = Some(StreamBuffer::new(k, start));
-            }
-        }
-        let k = self.params.substreams;
-        let mut subscribed = false;
-        for j in 0..k {
-            if self.peer(id).map(|p| p.parents[j as usize].is_none()) == Some(true) {
-                if let Some(parent) = self.choose_parent(id, j) {
-                    self.subscribe(id, j, parent);
-                    subscribed = true;
-                }
-            } else {
-                subscribed = true;
-            }
-        }
-        if subscribed {
-            let (user, private, first) = {
-                // cs-lint: allow(panic-in-lib) — `subscribed` can only be set while the peer is alive a few lines up
-                let p = self.peer(id).expect("alive");
-                (p.user, p.private_addr(), p.start_sub.is_none())
-            };
-            if first {
-                if let Some(p) = self.peer_mut(id) {
-                    p.start_sub = Some(now);
-                }
-                self.sessions[id.index()].start_sub = Some(now);
-                self.log.report(
-                    now,
-                    &Report::Activity {
-                        user,
-                        node: id.0,
-                        kind: ActivityKind::StartSubscription,
-                        private_addr: private,
-                    },
-                );
-            }
-        }
-        subscribed
-    }
-
-    /// Tear a peer out of the overlay and finalize its session record.
-    fn depart(&mut self, id: NodeId, now: SimTime, reason: DepartReason) -> Option<UserSpec> {
-        if !self.net.is_alive(id) || !self.net.node(id).class.is_user() {
-            return None;
-        }
-        let (
-            user,
-            private,
-            partners,
-            children,
-            parents,
-            retries_left,
-            retry_index,
-            leave_at,
-            patience,
-            class,
-            upload,
-        ) = {
-            let p = self.peer(id)?;
-            (
-                p.user,
-                p.private_addr(),
-                p.partners.keys().copied().collect::<Vec<_>>(),
-                p.children.clone(),
-                p.parents.clone(),
-                p.retries_left,
-                p.retry_index,
-                p.intended_leave,
-                p.patience,
-                p.class,
-                p.upload,
-            )
-        };
-        // Detach from partners (and their parent slots pointing at us).
-        for q in partners {
-            if let Some(qp) = self.peer_mut(q) {
-                qp.partners.remove(&id);
-                for slot in qp.parents.iter_mut() {
-                    if *slot == Some(id) {
-                        *slot = None;
-                    }
-                }
-                qp.remove_child_all(id);
-            }
-        }
-        // Orphan our children (they repair at their next BmTick).
-        for (c, j) in children {
-            if let Some(cp) = self.peer_mut(c) {
-                if cp.parents[j as usize] == Some(id) {
-                    cp.parents[j as usize] = None;
-                }
-            }
-        }
-        // Detach from our parents' child lists.
-        for p in parents.into_iter().flatten() {
-            if let Some(pp) = self.peer_mut(p) {
-                pp.remove_child_all(id);
-            }
-        }
-        self.bootstrap.deregister(id);
-        self.net.remove_node(id);
-        self.peers[id.index()] = None;
-
-        let rec = &mut self.sessions[id.index()];
-        rec.leave = Some(now);
-        rec.reason = Some(reason);
-        self.log.report(
-            now,
-            &Report::Activity {
-                user,
-                node: id.0,
-                kind: ActivityKind::Leave,
-                private_addr: private,
-            },
-        );
-
-        match reason {
-            DepartReason::Finished => self.stats.finished_departs += 1,
-            DepartReason::Impatient => self.stats.impatient_departs += 1,
-            DepartReason::GiveUp => self.stats.giveup_departs += 1,
-            DepartReason::StillActive => {}
-        }
-
-        // Retry decision: impatient and give-up sessions re-enter if the
-        // user has retries and meaningful watch time left.
-        let remaining = leave_at.saturating_sub(now);
-        if reason != DepartReason::Finished
-            && retries_left > 0
-            && remaining > SimTime::from_secs(30)
-        {
-            return Some(UserSpec {
-                user,
-                class,
-                upload,
-                leave_at,
-                patience,
-                retries_left: retries_left - 1,
-                retry_index: retry_index + 1,
-            });
-        }
-        None
-    }
-
-    /// The parent push round for node `p` (Eq. 5: uplink split equally
-    /// across `D_p` sub-stream subscriptions, capped by the parent's own
-    /// newest block and the child's cache-window reach).
-    fn sched_round(&mut self, p: NodeId, now: SimTime) {
-        let k = self.params.substreams;
-        let round_secs = self.params.sched_interval.as_secs_f64();
-        let children: Vec<(NodeId, u32)> = match self.peer(p) {
-            Some(peer) => peer.children.clone(),
-            None => return,
-        };
-        if children.is_empty() {
-            return;
-        }
-        // Drop stale subscriptions first.
-        let mut live: Vec<(NodeId, u32)> = Vec::with_capacity(children.len());
-        for (c, j) in children {
-            let valid = self.net.is_alive(c)
-                && self
-                    .peer(c)
-                    .map(|cp| cp.parents[j as usize] == Some(p))
-                    .unwrap_or(false);
-            if valid {
-                live.push((c, j));
-            } else if let Some(pp) = self.peer_mut(p) {
-                pp.remove_child(c, j);
-            }
-        }
-        if live.is_empty() {
-            return;
-        }
-        let d_p = live.len() as f64;
-        let upload = self.net.node(p).upload;
-        let total_budget = self.params.upload_blocks_per_sec(upload) * round_secs;
-        let equal_budget = total_budget / d_p;
-        let parent_bm = self.current_bm(p, now);
-        let window = self.params.window_blocks();
-        let block_bytes = self.params.block_bytes as u64;
-
-        // Deficit-aware allocation (§VI optimization), two phases: first
-        // guarantee every subscription its sustain rate (or the fair
-        // share when capacity is short — degenerating to Eq. 5), then
-        // hand the surplus to lagging children in proportion to their
-        // outstanding blocks.
-        let budgets: Option<Vec<f64>> = match self.params.allocation {
-            crate::params::Allocation::EqualSplit => None,
-            crate::params::Allocation::NeedAware => {
-                let sustain = self.params.substream_block_rate() * round_secs;
-                let base = sustain.min(equal_budget);
-                let leftover = (total_budget - base * d_p).max(0.0);
-                let deficits: Vec<f64> = live
-                    .iter()
-                    .map(|&(c, j)| match (parent_bm[j as usize], self.peer(c)) {
-                        (Some(pl), Some(cp)) => match cp.buffer.as_ref() {
-                            Some(buf) => {
-                                let next = buf.next_missing(j);
-                                if pl >= next {
-                                    (((pl - next) / k as u64 + 1) as f64).min(window as f64)
-                                } else {
-                                    0.0
-                                }
-                            }
-                            None => 0.0,
-                        },
-                        _ => 0.0,
-                    })
-                    .collect();
-                let total_deficit: f64 = deficits.iter().sum();
-                Some(
-                    deficits
-                        .into_iter()
-                        .map(|d| {
-                            let extra = if total_deficit > 0.0 {
-                                leftover * d / total_deficit
-                            } else {
-                                leftover / d_p
-                            };
-                            base + extra
-                        })
-                        .collect(),
-                )
-            }
-        };
-
-        for (ix, (c, j)) in live.into_iter().enumerate() {
-            let budget_blocks = match &budgets {
-                Some(b) => b[ix],
-                None => equal_budget,
-            };
-            let Some(parent_latest) = parent_bm[j as usize] else {
-                continue;
-            };
-            let (deliver, skipped) = {
-                let Some(cp) = self.peer_mut(c) else { continue };
-                let Some(buf) = cp.buffer.as_mut() else {
-                    continue;
-                };
-                // Blocks older than the parent's cache window are gone.
-                let mut skipped = 0;
-                if parent_latest >= window {
-                    let window_floor = parent_latest - window;
-                    if buf.next_missing(j) <= window_floor {
-                        skipped = buf.skip_to(j, window_floor);
-                    }
-                }
-                let next = buf.next_missing(j);
-                let avail = if parent_latest >= next {
-                    (parent_latest - next) / k as u64 + 1
-                } else {
-                    0
-                };
-                let credit = buf.credit_mut(j);
-                *credit += budget_blocks;
-                // cs-lint: allow(lossy-cast) — credit is non-negative and capped at 2× the per-tick budget below
-                let deliver = (credit.floor() as u64).min(avail);
-                *credit -= deliver as f64;
-                // Unused credit cannot pile into an unbounded burst.
-                let cap = (budget_blocks * 2.0).max(2.0);
-                if *credit > cap {
-                    *credit = cap;
-                }
-                if deliver > 0 {
-                    buf.advance(j, deliver);
-                    cp.counters.down_bytes += deliver * block_bytes;
-                }
-                (deliver, skipped)
-            };
-            self.stats.blocks_skipped += skipped;
-            if deliver > 0 {
-                let bytes = deliver * block_bytes;
-                self.sessions[c.index()].down_bytes += bytes;
-                if let Some(pp) = self.peer_mut(p) {
-                    pp.counters.up_bytes += bytes;
-                }
-                self.sessions[p.index()].up_bytes += bytes;
-                self.stats.blocks_delivered += deliver;
-            }
-        }
-    }
-
-    /// Buffer-map exchange, partner repair and peer adaptation for `id`.
-    fn bm_tick(&mut self, id: NodeId, now: SimTime) -> bool {
-        if !self.net.is_alive(id) {
-            return false;
-        }
-        // 1. Refresh partner views; detect dead partners.
-        let partner_ids: Vec<NodeId> = self
-            .peer(id)
-            .map(|p| p.partners.keys().copied().collect())
-            .unwrap_or_default();
-        let mut dead = Vec::new();
-        let bm_wire =
-            40 + 8 * self.params.substreams as u64 + self.params.substreams.div_ceil(8) as u64;
-        for q in &partner_ids {
-            if self.net.is_alive(*q) {
-                let bm = self.current_bm(*q, now);
-                self.stats.control_bytes += bm_wire;
-                if let Some(p) = self.peer_mut(id) {
-                    if let Some(view) = p.partners.get_mut(q) {
-                        view.latest = bm;
-                    }
-                }
-            } else {
-                dead.push(*q);
-            }
-        }
-        for q in dead {
-            if let Some(p) = self.peer_mut(id) {
-                p.partners.remove(&q);
-                p.mcache.remove(q);
-                for slot in p.parents.iter_mut() {
-                    if *slot == Some(q) {
-                        *slot = None;
-                    }
-                }
-            }
-        }
-
-        // 2. Partner maintenance: refill towards the target from mCache.
-        let (cur_partners, target) = {
-            // cs-lint: allow(panic-in-lib) — the alive-check at the top of this tick handler already returned for dead peers
-            let p = self.peer(id).expect("alive");
-            (p.partners.len(), self.params.target_partners)
-        };
-        if cur_partners < target {
-            let picks = {
-                let mut rng = self.rng_mem.clone();
-                // cs-lint: allow(panic-in-lib) — same alive-guarantee as the partner-count read above; no removal happens in between
-                let p = self.peer(id).expect("alive");
-                let partners = &p.partners;
-                let want = (target - cur_partners) * 2;
-                let picks = p.mcache.sample(want, &mut rng, |cand| {
-                    cand == id || partners.contains_key(&cand)
-                });
-                self.rng_mem = rng;
-                picks
-            };
-            let mut established = 0;
-            for e in picks {
-                if established + cur_partners >= target {
-                    break;
-                }
-                if !self.net.is_alive(e.id) {
-                    if let Some(p) = self.peer_mut(id) {
-                        p.mcache.remove(e.id);
-                    }
-                    continue;
-                }
-                if self.try_add_partner(id, e.id, now) {
-                    established += 1;
-                }
-            }
-        }
-
-        // 3. Initial selection or adaptation.
-        let has_buffer = self.peer(id).map(|p| p.buffer.is_some()) == Some(true);
-        let streaming = self.peer(id).map(|p| p.parents.iter().any(Option::is_some)) == Some(true);
-        if !has_buffer || !streaming {
-            self.select_initial(id, now);
-        }
-        self.adapt(id, now);
-        true
-    }
-
-    /// Peer adaptation: repair dead parent slots unconditionally; apply
-    /// the inequality triggers under the cool-down.
-    fn adapt(&mut self, id: NodeId, now: SimTime) {
-        let k = self.params.substreams;
-        let Some(peer) = self.peer(id) else { return };
-        if peer.buffer.is_none() {
-            return;
-        }
-        let allowed = peer.adaptation_allowed(now, self.params.ta);
-        let global_best: Option<u64> = peer
-            .partners
-            .values()
-            .flat_map(|v| v.latest.iter().flatten().copied())
-            .max();
-        // §III.B "insufficient bit rate" condition: once playing, a
-        // shrinking playout lead means the aggregate receive rate is
-        // below the stream rate even when no single sub-stream stands out
-        // (uniform starvation under peer competition). In that state the
-        // sub-streams trailing the live edge the most get re-selected.
-        let live_edge = self.params.live_edge(now);
-        let lead = peer
-            .buffer
-            .as_ref()
-            // cs-lint: allow(panic-in-lib) — this adaptation path is only reached after the buffer-present check at the call site
-            .expect("checked")
-            .contiguous_edge()
-            .map(|e| e.saturating_sub(peer.next_play));
-        // Low lead triggers re-selection only while the lead is still
-        // shrinking; during recovery after a switch the node holds.
-        let lead_low = peer.media_ready.is_some()
-            && match lead {
-                Some(l) => {
-                    l < self.params.low_water_blocks && peer.last_lead.is_none_or(|prev| l < prev)
-                }
-                None => true,
-            };
-        if let Some(l) = lead {
-            if let Some(p) = self.peer_mut(id) {
-                p.last_lead = Some(l);
-            }
-        }
-        let Some(peer) = self.peer(id) else { return };
-        let mut repairs = Vec::new();
-        let mut adaptations = Vec::new();
-        for j in 0..k {
-            let parent = peer.parents[j as usize];
-            match parent {
-                None => repairs.push(j),
-                Some(p) => {
-                    if !allowed {
-                        continue;
-                    }
-                    // cs-lint: allow(panic-in-lib) — same buffer-present guarantee as the lead computation above
-                    let buf = peer.buffer.as_ref().expect("checked");
-                    // A sub-stream with nothing received yet counts from
-                    // just before its first wanted block.
-                    let own = buf
-                        .latest(j)
-                        .unwrap_or_else(|| buf.first_wanted(j).saturating_sub(k as u64));
-                    // Inequality (1): this node's receipt of sub-stream j
-                    // lags what its parent already holds by T_s — the
-                    // parent cannot (or will not) push fast enough.
-                    let ineq1 = match peer.partners.get(&p).and_then(|v| v.latest[j as usize]) {
-                        Some(pl) => pl.saturating_sub(own) >= self.params.ts_blocks,
-                        None => false,
-                    };
-                    // Inequality (2): parent lags the best partner by T_p.
-                    let ineq2 = match (global_best, peer.partners.get(&p)) {
-                        (Some(best), Some(view)) => match view.latest[j as usize] {
-                            Some(pj) => best.saturating_sub(pj) >= self.params.tp_blocks,
-                            None => true,
-                        },
-                        _ => false,
-                    };
-                    // Insufficient-rate reselection for sub-streams
-                    // trailing the live edge well beyond the join offset.
-                    let starving = lead_low
-                        && match live_edge {
-                            Some(edge) => edge.saturating_sub(own) >= 2 * self.params.tp_blocks,
-                            None => false,
-                        };
-                    if ineq1 || ineq2 || starving {
-                        adaptations.push(j);
-                    }
-                }
-            }
-        }
-        for j in repairs {
-            if let Some(parent) = self.choose_parent(id, j) {
-                self.subscribe(id, j, parent);
-                self.stats.parent_repairs += 1;
-            }
-        }
-        if !adaptations.is_empty() {
-            let mut adapted = false;
-            let mut starved = false;
-            for j in adaptations {
-                if let Some(parent) = self.choose_parent(id, j) {
-                    self.subscribe(id, j, parent);
-                    adapted = true;
-                } else {
-                    starved = true;
-                }
-            }
-            if adapted {
-                self.stats.adaptations += 1;
-                if let Some(p) = self.peer_mut(id) {
-                    p.last_adapt = Some(now);
-                    p.counters.adaptations += 1;
-                }
-                self.sessions[id.index()].adaptations += 1;
-            }
-            if starved {
-                // §III.B partner re-selection: no partner can serve the
-                // starving sub-stream(s), so drop the most useless partner
-                // and recruit a fresh candidate from the mCache.
-                self.reselect_partner(id, now);
-            }
-        }
-    }
-
-    /// Drop the least useful partner (not currently a parent, oldest
-    /// buffer map) and try one fresh mCache candidate in its place.
-    fn reselect_partner(&mut self, id: NodeId, now: SimTime) {
-        let victim = {
-            let Some(p) = self.peer(id) else { return };
-            let parents: Vec<NodeId> = p.parents.iter().flatten().copied().collect();
-            p.partners
-                .iter()
-                .filter(|(q, _)| !parents.contains(q))
-                .min_by_key(|(_, view)| view.latest.iter().flatten().copied().max().unwrap_or(0))
-                .map(|(&q, _)| q)
-        };
-        if let Some(victim) = victim {
-            if let Some(p) = self.peer_mut(id) {
-                p.partners.remove(&victim);
-            }
-            if let Some(vp) = self.peer_mut(victim) {
-                vp.partners.remove(&id);
-                for slot in vp.parents.iter_mut() {
-                    if *slot == Some(id) {
-                        *slot = None;
-                    }
-                }
-                vp.remove_child_all(id);
-            }
-            if let Some(pp) = self.peer_mut(id) {
-                pp.remove_child_all(victim);
-            }
-        }
-        let pick = {
-            let mut rng = self.rng_mem.clone();
-            let Some(p) = self.peer(id) else { return };
-            let partners = &p.partners;
-            let pick = p
-                .mcache
-                .sample(1, &mut rng, |c| c == id || partners.contains_key(&c))
-                .first()
-                .map(|e| e.id);
-            self.rng_mem = rng;
-            pick
-        };
-        if let Some(cand) = pick {
-            if self.net.is_alive(cand) {
-                self.try_add_partner(id, cand, now);
-            } else if let Some(p) = self.peer_mut(id) {
-                p.mcache.remove(cand);
-            }
-        }
-    }
-
-    /// Playback bookkeeping. Returns a retry spec if the peer gave up.
-    fn playback_tick(&mut self, id: NodeId, now: SimTime) -> Option<UserSpec> {
-        let bps = self.params.blocks_per_sec();
-        let delay_blocks = self.params.playback_delay_blocks;
-        let giveup_loss = self.params.giveup_loss;
-        let giveup_ticks = self.params.giveup_ticks;
-        let (user, private) = {
-            let p = self.peer(id)?;
-            (p.user, p.private_addr())
-        };
-        let mut became_ready = false;
-        let mut give_up = false;
-        {
-            let p = self.peer_mut(id)?;
-            let buf = p.buffer.as_ref()?;
-            match p.media_ready {
-                None => {
-                    if buf.contiguous_len() >= delay_blocks {
-                        p.media_ready = Some(now);
-                        p.next_play = buf.start_seq();
-                        became_ready = true;
-                    }
-                }
-                Some(ready_at) => {
-                    let start = buf.start_seq();
-                    let elapsed = now.saturating_sub(ready_at).as_secs_f64();
-                    // cs-lint: allow(lossy-cast) — elapsed × blocks/s is non-negative and far below 2^53; truncation is the intended playout floor
-                    let target = start + (elapsed * bps).floor() as u64;
-                    let mut due = 0u64;
-                    let mut missed = 0u64;
-                    let from = p.next_play;
-                    // Bounded loop: at most a few dozen blocks per tick.
-                    for n in from..target {
-                        due += 1;
-                        if !buf.has_block(n) {
-                            missed += 1;
-                        }
-                    }
-                    p.next_play = target.max(from);
-                    p.counters.due += due;
-                    p.counters.missed += missed;
-                    if due > 0 {
-                        if missed as f64 / due as f64 >= giveup_loss {
-                            p.lossy_ticks += 1;
-                        } else {
-                            p.lossy_ticks = 0;
-                        }
-                        if p.lossy_ticks >= giveup_ticks {
-                            give_up = true;
-                        }
-                    }
-                    self.sessions[id.index()].due += due;
-                    self.sessions[id.index()].missed += missed;
-                }
-            }
-        }
-        if became_ready {
-            self.sessions[id.index()].ready = Some(now);
-            self.log.report(
-                now,
-                &Report::Activity {
-                    user,
-                    node: id.0,
-                    kind: ActivityKind::MediaReady,
-                    private_addr: private,
-                },
-            );
-        }
-        if give_up {
-            return self.depart(id, now, DepartReason::GiveUp);
-        }
-        None
-    }
-
-    /// Emit the three 5-minute status reports (§V.A).
-    fn report_tick(&mut self, id: NodeId, now: SimTime) {
-        let Some(p) = self.peer_mut(id) else { return };
-        if !p.class.is_user() {
-            return;
-        }
-        let user = p.user;
-        let node = id.0;
-        let private = p.private_addr();
-        let c = p.counters;
-        let incoming = u32::try_from(p.incoming_partners()).unwrap_or(u32::MAX);
-        let outgoing = u32::try_from(p.outgoing_partners()).unwrap_or(u32::MAX);
-        let parents = u32::try_from(p.parent_count()).unwrap_or(u32::MAX);
-        p.counters = Default::default();
-        // Three HTTP report requests to the log server.
-        self.stats.control_bytes += 3 * 120;
-        self.log.report(
-            now,
-            &Report::Qos {
-                user,
-                node,
-                due: c.due,
-                missed: c.missed,
-            },
-        );
-        self.log.report(
-            now,
-            &Report::Traffic {
-                user,
-                node,
-                up: c.up_bytes,
-                down: c.down_bytes,
-            },
-        );
-        self.log.report(
-            now,
-            &Report::Partner {
-                user,
-                node,
-                private_addr: private,
-                incoming,
-                outgoing,
-                parents,
-                adaptations: c.adaptations,
-            },
-        );
-    }
-
-    /// Gossip: push a sample of our mCache (plus ourselves) to one random
-    /// partner.
-    fn gossip_tick(&mut self, id: NodeId, now: SimTime) {
-        let mut rng = self.rng_mem.clone();
-        let (target, entries) = {
-            let Some(p) = self.peer(id) else { return };
-            let partner_ids: Vec<NodeId> = p.partners.keys().copied().collect();
-            let Some(&target) = partner_ids.choose(&mut rng) else {
-                self.rng_mem = rng;
-                return;
-            };
-            let mut entries = p
-                .mcache
-                .sample(self.params.gossip_fanout, &mut rng, |c| c == target);
-            entries.push(McEntry {
-                id,
-                joined_at: p.join_time,
-                added_at: now,
-            });
-            (target, entries)
-        };
-        if self.net.is_alive(target) {
-            self.stats.control_bytes += 40 + 10 * entries.len() as u64;
-            let policy = self.params.replace_policy;
-            if let Some(t) = self.peer_mut(target) {
-                for mut e in entries {
-                    e.added_at = now;
-                    if e.id != target {
-                        t.mcache.insert(e, policy, &mut rng);
-                    }
-                }
-            }
-        }
-        self.rng_mem = rng;
-    }
-
-    /// Take a topology snapshot.
-    fn snapshot(&mut self, now: SimTime) {
-        let n = self.net.total_nodes();
-        let mut snap = TopologySnapshot {
-            time: now,
-            ..Default::default()
-        };
-        let mut children_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut streaming_nodes: Vec<usize> = Vec::new();
-        for info in self.net.iter_alive() {
-            let Some(peer) = self.peer(info.id) else {
-                continue;
-            };
-            if !info.class.is_user() {
-                continue;
-            }
-            snap.peers += 1;
-            let mut any_parent = false;
-            let mut all_public = true;
-            for parent in peer.parents.iter().flatten() {
-                any_parent = true;
-                snap.edges_total += 1;
-                children_adj[parent.index()].push(info.id.index());
-                match edge_bucket(self.net.node(*parent).class) {
-                    EdgeBucket::Public => snap.edges_from_public += 1,
-                    EdgeBucket::Private => {
-                        snap.edges_from_private += 1;
-                        all_public = false;
-                    }
-                    EdgeBucket::Server => snap.edges_from_server += 1,
-                }
-            }
-            if any_parent {
-                snap.streaming += 1;
-                streaming_nodes.push(info.id.index());
-                if all_public {
-                    snap.fully_public_parents += 1;
-                }
-            }
-            // Partnership links (count unordered pairs once).
-            let my_private = matches!(info.class, NodeClass::Nat | NodeClass::Firewall);
-            for &q in peer.partners.keys() {
-                if q.index() > info.id.index() {
-                    let qc = self.net.node(q).class;
-                    if qc.is_user() {
-                        snap.partner_links += 1;
-                        let q_private = matches!(qc, NodeClass::Nat | NodeClass::Firewall);
-                        if my_private && q_private {
-                            snap.natfw_partner_links += 1;
-                        }
-                    }
-                }
-            }
-        }
-        let mut roots: Vec<usize> = self.servers.iter().map(|s| s.index()).collect();
-        roots.push(self.source.index());
-        let depths = bfs_depths(n, &roots, &children_adj);
-        let mut sum = 0u64;
-        let mut count = 0u64;
-        for &ix in &streaming_nodes {
-            match depths[ix] {
-                Some(d) => {
-                    sum += d as u64;
-                    count += 1;
-                    snap.max_depth = snap.max_depth.max(d);
-                }
-                None => snap.orphans += 1,
-            }
-        }
-        snap.mean_depth = if count > 0 {
-            sum as f64 / count as f64
-        } else {
-            0.0
-        };
-        self.snapshots.push(snap);
-    }
-
-    /// Crash dedicated server `ix`: remove it from the overlay and the
-    /// boot-strap candidate set; its partners and children discover the
-    /// death lazily, exactly like peer churn.
-    fn crash_server(&mut self, ix: usize, now: SimTime) {
-        let Some(&id) = self.servers.get(ix) else {
-            return;
-        };
-        if !self.net.is_alive(id) {
-            return;
-        }
-        let (partners, children) = match self.peer(id) {
-            Some(p) => (
-                p.partners.keys().copied().collect::<Vec<_>>(),
-                p.children.clone(),
-            ),
-            None => return,
-        };
-        for q in partners {
-            if let Some(qp) = self.peer_mut(q) {
-                qp.partners.remove(&id);
-                for slot in qp.parents.iter_mut() {
-                    if *slot == Some(id) {
-                        *slot = None;
-                    }
-                }
-            }
-        }
-        for (c, j) in children {
-            if let Some(cp) = self.peer_mut(c) {
-                if cp.parents[j as usize] == Some(id) {
-                    cp.parents[j as usize] = None;
-                }
-            }
-        }
-        self.net.remove_node(id);
-        self.peers[id.index()] = None;
-        self.sessions[id.index()].leave = Some(now);
-    }
-
-    /// Handle a user arrival; returns the new node id.
-    fn arrive(&mut self, spec: UserSpec, now: SimTime, ctx: &mut Ctx<'_, Event>) {
-        self.stats.arrivals += 1;
-        let id = self.net.add_node(spec.class, spec.upload, now);
-        debug_assert_eq!(id.index(), self.peers.len());
-        let peer = Peer::new(
-            id,
-            spec.user,
-            spec.class,
-            spec.upload,
-            &self.params,
-            now,
-            spec.retry_index,
-            spec.leave_at,
-            spec.retries_left,
-            spec.patience,
-        );
+    /// Append a freshly arrived peer; its node id must be the next free
+    /// table slot.
+    pub(crate) fn push_peer(&mut self, peer: Peer) {
+        debug_assert_eq!(peer.id.index(), self.peers.len());
         self.peers.push(Some(peer));
-        self.sessions.push(SessionRecord {
-            user: spec.user,
-            node: id,
-            class: spec.class,
-            upload: spec.upload,
-            retry_index: spec.retry_index,
-            join: now,
-            start_sub: None,
-            ready: None,
-            leave: None,
-            reason: None,
-            up_bytes: 0,
-            down_bytes: 0,
-            due: 0,
-            missed: 0,
-            adaptations: 0,
-        });
-        self.bootstrap.register(id, now);
-        // cs-lint: allow(panic-in-lib) — the peer was pushed into the table a few lines up in this same join handler
-        let private = self.peer(id).expect("just added").private_addr();
-        self.log.report(
-            now,
-            &Report::Activity {
-                user: spec.user,
-                node: id.0,
-                kind: ActivityKind::Join,
-                private_addr: private,
-            },
-        );
-        // Contact the boot-strap server: one RTT to roughly the source's
-        // location plus server processing time.
-        let rtt = self.net.delay(id, self.source) * 2;
-        ctx.schedule_in(rtt + self.params.bootstrap_delay, Event::BootstrapReply(id));
-        ctx.schedule_at(spec.patience + now, Event::PatienceCheck(id));
-        ctx.schedule_at(spec.leave_at, Event::Depart(id));
     }
 
-    /// Handle the boot-strap reply: fill the mCache, attempt partnerships.
-    fn bootstrap_reply(&mut self, id: NodeId, now: SimTime, ctx: &mut Ctx<'_, Event>) {
-        if !self.net.is_alive(id) {
-            return;
-        }
-        if !self.bootstrap_up {
-            // Request times out; the client backs off and retries.
-            self.stats.bootstrap_rejects += 1;
-            ctx.schedule_in(
-                self.params.join_retry_backoff * 2,
-                Event::BootstrapReply(id),
-            );
-            return;
-        }
-        let mut rng = self.rng_mem.clone();
-        let entries = self
-            .bootstrap
-            .sample(id, self.params.bootstrap_fanout, &mut rng);
-        let policy = self.params.replace_policy;
-        let mut handshake = SimTime::ZERO;
-        let mut candidates = Vec::new();
-        // Request + reply: headers plus ~10 bytes per mCache entry.
-        self.stats.control_bytes += 80 + 10 * entries.len() as u64;
-        for mut e in entries {
-            e.added_at = now;
-            if let Some(p) = self.peer_mut(id) {
-                p.mcache.insert(e, policy, &mut rng);
-            }
-            candidates.push(e.id);
-        }
-        self.rng_mem = rng;
-        let mut ok = 0usize;
-        for cand in candidates {
-            if ok >= self.params.target_partners {
-                break;
-            }
-            if !self.net.is_alive(cand) {
-                if let Some(p) = self.peer_mut(id) {
-                    p.mcache.remove(cand);
-                }
-                continue;
-            }
-            let rtt = self.net.delay(id, cand) * 2;
-            if self.try_add_partner(id, cand, now) {
-                ok += 1;
-                handshake = handshake.max(rtt);
-            } else {
-                // A failed SYN still costs a timeout-ish delay before the
-                // joiner moves on; fold it into the handshake phase.
-                handshake = handshake.max(rtt * 2);
-            }
-        }
-        if ok == 0 {
-            self.stats.join_retries += 1;
-            ctx.schedule_in(self.params.join_retry_backoff, Event::BootstrapReply(id));
-        } else {
-            ctx.schedule_in(
-                handshake + self.params.bootstrap_delay,
-                Event::PartnersReady(id),
-            );
-        }
-    }
-
-    /// Partnerships are live: pick the start position and parents, then
-    /// start the periodic machinery.
-    fn partners_ready(&mut self, id: NodeId, now: SimTime, ctx: &mut Ctx<'_, Event>) {
-        if !self.net.is_alive(id) {
-            return;
-        }
-        // Refresh views then select.
-        self.bm_tick(id, now);
-        let phase = |rng: &mut Xoshiro256PlusPlus, iv: SimTime| {
-            SimTime::from_micros(rng.gen_range(0..iv.as_micros().max(1)))
-        };
-        let (bm, sched, play, gossip, _report) = (
-            self.params.bm_interval,
-            self.params.sched_interval,
-            self.params.playback_interval,
-            self.params.gossip_interval,
-            self.params.report_interval,
-        );
-        ctx.schedule_in(bm + phase(&mut self.rng_mem, bm), Event::BmTick(id));
-        ctx.schedule_in(phase(&mut self.rng_mem, sched), Event::SchedRound(id));
-        ctx.schedule_in(
-            play + phase(&mut self.rng_mem, play),
-            Event::PlaybackTick(id),
-        );
-        ctx.schedule_in(
-            gossip + phase(&mut self.rng_mem, gossip),
-            Event::GossipTick(id),
-        );
-        let first_report = self.params.first_report_delay;
-        ctx.schedule_in(
-            first_report + phase(&mut self.rng_mem, first_report),
-            Event::ReportTick(id),
-        );
+    /// Drop a departed or crashed peer's state.
+    pub(crate) fn remove_peer(&mut self, id: NodeId) {
+        self.peers[id.index()] = None;
     }
 
     /// Schedule a retry arrival with a short think time.
@@ -1490,46 +375,41 @@ impl CsWorld {
 impl World for CsWorld {
     type Event = Event;
 
+    /// Route each event to its manager (see the module docs for the
+    /// variant → manager table), keeping periodic re-scheduling here so
+    /// manager code never owns the clock.
     fn handle(&mut self, ctx: &mut Ctx<'_, Event>, event: Event) {
         let now = ctx.now();
         match event {
-            Event::Arrive(spec) => self.arrive(spec, now, ctx),
-            Event::BootstrapReply(id) => self.bootstrap_reply(id, now, ctx),
-            Event::PartnersReady(id) => self.partners_ready(id, now, ctx),
+            Event::Arrive(spec) => Membership::of(self).arrive(spec, now, ctx),
+            Event::BootstrapReply(id) => Membership::of(self).bootstrap_reply(id, now, ctx),
+            Event::PartnersReady(id) => Partnership::of(self).partners_ready(id, now, ctx),
             Event::PatienceCheck(id) => {
-                let not_ready = self.net.is_alive(id)
-                    && self.peer(id).map(|p| p.media_ready.is_none()) == Some(true);
-                if not_ready {
-                    if let Some(retry) = self.depart(id, now, DepartReason::Impatient) {
-                        self.schedule_retry(retry, ctx);
-                    }
+                if let Some(retry) = Partnership::of(self).patience_check(id, now) {
+                    self.schedule_retry(retry, ctx);
                 }
             }
-            Event::Depart(id) => {
-                if self.net.is_alive(id) {
-                    self.depart(id, now, DepartReason::Finished);
-                }
-            }
+            Event::Depart(id) => Partnership::of(self).scheduled_depart(id, now),
             Event::GossipTick(id) => {
                 if self.net.is_alive(id) {
-                    self.gossip_tick(id, now);
+                    Membership::of(self).gossip_tick(id, now);
                     ctx.schedule_in(self.params.gossip_interval, Event::GossipTick(id));
                 }
             }
             Event::BmTick(id) => {
-                if self.bm_tick(id, now) {
+                if Stream::of(self).bm_tick(id, now) {
                     ctx.schedule_in(self.params.bm_interval, Event::BmTick(id));
                 }
             }
             Event::SchedRound(id) => {
                 if self.net.is_alive(id) {
-                    self.sched_round(id, now);
+                    Stream::of(self).sched_round(id, now);
                     ctx.schedule_in(self.params.sched_interval, Event::SchedRound(id));
                 }
             }
             Event::PlaybackTick(id) => {
                 if self.net.is_alive(id) {
-                    let retry = self.playback_tick(id, now);
+                    let retry = Stream::of(self).playback_tick(id, now);
                     if let Some(spec) = retry {
                         self.schedule_retry(spec, ctx);
                     } else if self.net.is_alive(id) {
@@ -1539,51 +419,19 @@ impl World for CsWorld {
             }
             Event::ReportTick(id) => {
                 if self.net.is_alive(id) {
-                    self.report_tick(id, now);
+                    Stream::of(self).report_tick(id, now);
                     ctx.schedule_in(self.params.report_interval, Event::ReportTick(id));
                 }
             }
             Event::Snapshot => {
-                self.snapshot(now);
+                let snap = crate::snapshot::capture(self, now);
+                self.snapshots.push(snap);
                 if let Some(iv) = self.snapshot_interval {
                     ctx.schedule_in(iv, Event::Snapshot);
                 }
             }
-            Event::SetBootstrap(up) => {
-                self.bootstrap_up = up;
-            }
-            Event::CrashServer(ix) => {
-                self.crash_server(ix, now);
-            }
+            Event::SetBootstrap(up) => Membership::of(self).set_bootstrap(up),
+            Event::CrashServer(ix) => Membership::of(self).crash_server(ix, now),
         }
     }
-}
-
-/// Mark every still-live session as [`DepartReason::StillActive`] at the
-/// end of a run so analysis can distinguish truncation from departure.
-pub fn finalize_sessions(world: &mut CsWorld) {
-    let ids: Vec<NodeId> = world
-        .net
-        .iter_alive()
-        .filter(|n| n.class.is_user())
-        .map(|n| n.id)
-        .collect();
-    for id in ids {
-        let rec = &mut world.sessions[id.index()];
-        if rec.reason.is_none() {
-            rec.reason = Some(DepartReason::StillActive);
-        }
-    }
-}
-
-/// A map from user id to the ground-truth class of its first session —
-/// convenient for per-class analysis joins.
-pub fn user_classes(world: &CsWorld) -> DetMap<UserId, NodeClass> {
-    let mut map = DetMap::new();
-    for rec in &world.sessions {
-        if rec.class.is_user() {
-            map.entry(rec.user).or_insert(rec.class);
-        }
-    }
-    map
 }

@@ -49,12 +49,12 @@ fn join_subscribes_all_substreams_near_live_edge() {
     let k = w.params.substreams;
     for j in 0..k {
         assert_eq!(
-            peer.parents[j as usize],
+            peer.parents()[j as usize],
             Some(w.servers[0]),
             "substream {j} not on the server"
         );
     }
-    let buf = peer.buffer.as_ref().expect("buffer chosen");
+    let buf = peer.buffer().expect("buffer chosen");
     // Start position within [edge − T_p − slack, edge].
     let edge_at_join = w.params.live_edge(SimTime::from_secs(61)).unwrap();
     let lo = edge_at_join.saturating_sub(w.params.tp_blocks + 40);
@@ -126,11 +126,11 @@ fn server_crash_repairs_via_adaptation() {
     let mut streaming = 0;
     for info in w.net.iter_alive().filter(|n| n.class.is_user()) {
         let peer = w.peer(info.id).unwrap();
-        for parent in peer.parents.iter().flatten() {
+        for parent in peer.parents().iter().flatten() {
             assert!(w.net.is_alive(*parent), "dead parent kept after crash");
             assert_ne!(*parent, crashed);
         }
-        if peer.parents.iter().any(Option::is_some) {
+        if peer.parents().iter().any(Option::is_some) {
             streaming += 1;
         }
     }
@@ -184,7 +184,7 @@ fn server_buffer_map_tracks_live_edge() {
     eng.run_until(SimTime::from_secs(140));
     let w = eng.world();
     let peer = w.peer(NodeId(2)).expect("joined");
-    let view = peer.partners.get(&w.servers[0]).expect("server partner");
+    let view = peer.partners().get(&w.servers[0]).expect("server partner");
     let k = w.params.substreams;
     let edge = w
         .params
@@ -220,13 +220,13 @@ fn partnership_direction_bookkeeping() {
     let w = eng.world();
     let first = w.peer(NodeId(2)).unwrap();
     let second = w.peer(NodeId(3)).unwrap();
-    if let Some(view) = second.partners.get(&NodeId(2)) {
+    if let Some(view) = second.partners().get(&NodeId(2)) {
         assert!(view.outgoing, "initiator must mark partnership outgoing");
-        let back = first.partners.get(&NodeId(3)).expect("symmetric");
+        let back = first.partners().get(&NodeId(3)).expect("symmetric");
         assert!(!back.outgoing, "acceptor must mark partnership incoming");
     } else {
         // The NAT peer must at least hold the server partnership.
-        assert!(second.partners.contains_key(&w.servers[0]));
+        assert!(second.partners().contains_key(&w.servers[0]));
     }
 }
 
@@ -256,10 +256,10 @@ fn giveup_cleanup_is_complete() {
     );
     for info in w.net.iter_alive() {
         if let Some(peer) = w.peer(info.id) {
-            for q in peer.partners.keys() {
+            for q in peer.partners().keys() {
                 assert!(w.net.is_alive(*q), "dangling partner {q:?}");
             }
-            for (c, _) in &peer.children {
+            for (c, _) in peer.children() {
                 // Children lists may lag one push round; they must never
                 // reference a *recycled* slot.
                 if !w.net.is_alive(*c) {

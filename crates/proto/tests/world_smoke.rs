@@ -175,7 +175,7 @@ fn churn_repairs_orphans() {
     // Every live peer's parents are live.
     for info in world.net.iter_alive() {
         if let Some(p) = world.peer(info.id) {
-            for parent in p.parents.iter().flatten() {
+            for parent in p.parents().iter().flatten() {
                 assert!(
                     world.net.is_alive(*parent),
                     "{:?} kept dead parent {:?}",
@@ -193,7 +193,7 @@ fn churn_repairs_orphans() {
         .filter(|n| {
             world
                 .peer(n.id)
-                .map(|p| p.media_ready.is_some())
+                .map(|p| p.media_ready().is_some())
                 .unwrap_or(false)
         })
         .count();

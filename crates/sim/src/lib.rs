@@ -46,7 +46,7 @@ mod trace;
 
 pub use det::{DetMap, DetSet};
 pub use engine::{Ctx, Engine, RunStats, StopReason, World};
-pub use observer::{EventStats, MultiObserver, Observer, TraceHasher};
+pub use observer::{EventStats, KindClassify, MultiObserver, Observer, TraceHasher};
 pub use queue::EventQueue;
 pub use time::SimTime;
 pub use trace::{Trace, TraceEntry};

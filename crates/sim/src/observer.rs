@@ -17,13 +17,18 @@
 //!   identity by comparing a single number,
 //! * [`MultiObserver`] — fan-out to several observers.
 //!
+//! Both instruments name events through one [`KindClassify`] impl per
+//! event alphabet (e.g. cs-proto's `EventKinds`), so every layer of
+//! instrumentation — counters, trace hashes, telemetry — agrees on kind
+//! names by construction.
+//!
 //! Observers are attached as `Box<dyn Observer<W>>`, which would normally
 //! mean losing access to the concrete value's results. To keep a handle,
 //! wrap the observer in `Rc<RefCell<_>>` — the blanket impl forwards the
 //! hooks — attach a clone, and read the original after the run:
 //!
 //! ```
-//! use cs_sim::{Ctx, Engine, SimTime, TraceHasher, World};
+//! use cs_sim::{Ctx, Engine, KindClassify, SimTime, TraceHasher, World};
 //! use std::cell::RefCell;
 //! use std::rc::Rc;
 //!
@@ -33,7 +38,14 @@
 //!     fn handle(&mut self, _: &mut Ctx<'_, ()>, _: ()) {}
 //! }
 //!
-//! let hasher = Rc::new(RefCell::new(TraceHasher::new(|_: &()| "tick")));
+//! struct TickKinds;
+//! impl KindClassify<()> for TickKinds {
+//!     fn class(_: &()) -> (u8, &'static str) {
+//!         (0, "tick")
+//!     }
+//! }
+//!
+//! let hasher = Rc::new(RefCell::new(TraceHasher::<(), TickKinds>::new()));
 //! let mut eng = Engine::new(Nop);
 //! eng.set_observer(Box::new(Rc::clone(&hasher)));
 //! eng.schedule_at(SimTime::from_secs(1), ());
@@ -43,10 +55,27 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 use std::rc::Rc;
 
 use crate::engine::World;
 use crate::time::SimTime;
+
+/// Maps events to `(dense index, kind name)` — see e.g. `Event::kind_class`
+/// in cs-proto. Indices only need to be small and stable within a run; the
+/// name is what reaches counters and hashes. A trait with a static method
+/// (rather than a stored `fn` pointer) so the classification — typically a
+/// jump-table match — inlines into the observers' `on_dispatch` instead of
+/// costing an indirect call per event.
+///
+/// One impl per event alphabet: every instrument that names events
+/// ([`EventStats`], [`TraceHasher`], cs-telemetry's engine observer)
+/// takes its classifier through this trait, so kind names cannot drift
+/// apart between instruments.
+pub trait KindClassify<E> {
+    /// Classify one event.
+    fn class(event: &E) -> (u8, &'static str);
+}
 
 /// A passive watcher of the engine's dispatch loop.
 ///
@@ -93,21 +122,20 @@ impl<W: World, T: Observer<W>> Observer<W> for Rc<RefCell<T>> {
 
 /// Per-event-kind dispatch counters and queue-depth high-water mark.
 ///
-/// Event kinds are produced by a caller-supplied classifier
-/// `fn(&Event) -> &'static str`, keeping this crate ignorant of any
-/// particular event alphabet.
-pub struct EventStats<E> {
-    classify: fn(&E) -> &'static str,
+/// Event kinds are produced by the caller-supplied [`KindClassify`] impl
+/// `C`, keeping this crate ignorant of any particular event alphabet.
+pub struct EventStats<E, C: KindClassify<E>> {
+    classify: PhantomData<fn(&E) -> C>,
     counts: BTreeMap<&'static str, u64>,
     queue_high_water: usize,
     events: u64,
 }
 
-impl<E> EventStats<E> {
-    /// Counters using `classify` to name each event.
-    pub fn new(classify: fn(&E) -> &'static str) -> Self {
+impl<E, C: KindClassify<E>> EventStats<E, C> {
+    /// Counters using `C` to name each event.
+    pub fn new() -> Self {
         EventStats {
-            classify,
+            classify: PhantomData,
             counts: BTreeMap::new(),
             queue_high_water: 0,
             events: 0,
@@ -145,9 +173,15 @@ impl<E> EventStats<E> {
     }
 }
 
-impl<W: World> Observer<W> for EventStats<W::Event> {
+impl<E, C: KindClassify<E>> Default for EventStats<E, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: World, C: KindClassify<W::Event>> Observer<W> for EventStats<W::Event, C> {
     fn on_dispatch(&mut self, _now: SimTime, event: &W::Event, queue_depth: usize) {
-        *self.counts.entry((self.classify)(event)).or_insert(0) += 1;
+        *self.counts.entry(C::class(event).1).or_insert(0) += 1;
         // `queue_depth` excludes the popped event; count it back in so the
         // mark reflects how full the queue actually got.
         self.queue_high_water = self.queue_high_water.max(queue_depth + 1);
@@ -176,17 +210,17 @@ fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
 /// digest; a digest difference means the runs diverged at *some* event,
 /// which is exactly the property determinism tests need — without
 /// retaining the (potentially hundreds of millions of events) trace.
-pub struct TraceHasher<E> {
-    classify: fn(&E) -> &'static str,
+pub struct TraceHasher<E, C: KindClassify<E>> {
+    classify: PhantomData<fn(&E) -> C>,
     hash: u64,
     events: u64,
 }
 
-impl<E> TraceHasher<E> {
-    /// A hasher using `classify` to name each event.
-    pub fn new(classify: fn(&E) -> &'static str) -> Self {
+impl<E, C: KindClassify<E>> TraceHasher<E, C> {
+    /// A hasher using `C` to name each event.
+    pub fn new() -> Self {
         TraceHasher {
-            classify,
+            classify: PhantomData,
             hash: FNV_OFFSET,
             events: 0,
         }
@@ -203,10 +237,16 @@ impl<E> TraceHasher<E> {
     }
 }
 
-impl<W: World> Observer<W> for TraceHasher<W::Event> {
+impl<E, C: KindClassify<E>> Default for TraceHasher<E, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: World, C: KindClassify<W::Event>> Observer<W> for TraceHasher<W::Event, C> {
     fn on_dispatch(&mut self, now: SimTime, event: &W::Event, _queue_depth: usize) {
         self.hash = fnv1a(self.hash, &now.as_micros().to_le_bytes());
-        self.hash = fnv1a(self.hash, (self.classify)(event).as_bytes());
+        self.hash = fnv1a(self.hash, C::class(event).1.as_bytes());
         self.events += 1;
     }
 }
@@ -279,10 +319,13 @@ mod tests {
         Leaf,
     }
 
-    fn kind(e: &Ev) -> &'static str {
-        match e {
-            Ev::Spawn(_) => "spawn",
-            Ev::Leaf => "leaf",
+    struct EvKinds;
+    impl KindClassify<Ev> for EvKinds {
+        fn class(e: &Ev) -> (u8, &'static str) {
+            match e {
+                Ev::Spawn(_) => (0, "spawn"),
+                Ev::Leaf => (1, "leaf"),
+            }
         }
     }
 
@@ -301,8 +344,8 @@ mod tests {
     }
 
     fn run_instrumented(seed_gen: u32) -> (u64, u64, BTreeMap<&'static str, u64>, usize) {
-        let stats = Rc::new(RefCell::new(EventStats::new(kind as fn(&Ev) -> _)));
-        let hasher = Rc::new(RefCell::new(TraceHasher::new(kind as fn(&Ev) -> _)));
+        let stats = Rc::new(RefCell::new(EventStats::<Ev, EvKinds>::new()));
+        let hasher = Rc::new(RefCell::new(TraceHasher::<Ev, EvKinds>::new()));
         let mut eng = Engine::new(Fanout { handled: 0 });
         eng.set_observer(Box::new(
             MultiObserver::new()
@@ -332,7 +375,7 @@ mod tests {
         // A single event, never more than one pending: the queue peaked
         // at 1, and the mark must say so even though the pending count
         // at dispatch time is 0.
-        let stats = Rc::new(RefCell::new(EventStats::new(kind as fn(&Ev) -> _)));
+        let stats = Rc::new(RefCell::new(EventStats::<Ev, EvKinds>::new()));
         let mut eng = Engine::new(Fanout { handled: 0 });
         eng.set_observer(Box::new(Rc::clone(&stats)));
         eng.schedule_at(SimTime::ZERO, Ev::Spawn(0));
@@ -340,7 +383,7 @@ mod tests {
         // Spawn(0) enqueues 2 leaves → depth peaked at 2 mid-run.
         assert_eq!(stats.borrow().queue_high_water(), 2);
 
-        let stats = Rc::new(RefCell::new(EventStats::new(kind as fn(&Ev) -> _)));
+        let stats = Rc::new(RefCell::new(EventStats::<Ev, EvKinds>::new()));
         let mut eng = Engine::new(Fanout { handled: 0 });
         eng.set_observer(Box::new(Rc::clone(&stats)));
         eng.schedule_at(SimTime::ZERO, Ev::Leaf);
@@ -359,7 +402,7 @@ mod tests {
 
     #[test]
     fn observer_can_be_detached_and_read() {
-        let stats = Rc::new(RefCell::new(EventStats::new(kind as fn(&Ev) -> _)));
+        let stats = Rc::new(RefCell::new(EventStats::<Ev, EvKinds>::new()));
         let mut eng = Engine::new(Fanout { handled: 0 });
         eng.set_observer(Box::new(Rc::clone(&stats)));
         eng.schedule_at(SimTime::ZERO, Ev::Spawn(0));

@@ -40,7 +40,11 @@ pub mod registry;
 pub mod window;
 
 pub use manifest::RunManifest;
-pub use observer::{KindClassify, TelemetryObserver, PROFILE_SAMPLE_EVERY};
+pub use observer::{TelemetryObserver, PROFILE_SAMPLE_EVERY};
+// Re-exported so telemetry users name the classifier trait without a
+// direct cs-sim dependency; the definition lives in cs-sim, next to the
+// other observers that consume it.
+pub use cs_sim::KindClassify;
 pub use profile::{DispatchProfiler, KindTiming};
 pub use registry::{Histogram, Metric, MetricId, MetricKey, MetricRegistry};
 pub use window::{SnapValue, WindowSnapshot, WindowedAggregator};

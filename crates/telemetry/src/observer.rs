@@ -31,7 +31,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use cs_sim::{Observer, SimTime, World};
+use cs_sim::{KindClassify, Observer, SimTime, World};
 
 use crate::profile::DispatchProfiler;
 use crate::registry::{MetricId, MetricRegistry};
@@ -57,19 +57,10 @@ struct KindSlot {
     flushed: u64,
 }
 
-/// Maps events to `(dense index, kind name)` on the dispatch path — see
-/// e.g. `Event::kind_class` in cs-proto. Indices only need to be small
-/// and stable within a run; the name is what reaches the registry. A
-/// trait with a static method (rather than a stored `fn` pointer) so the
-/// classification — typically a jump-table match — inlines into
-/// [`TelemetryObserver`]'s `on_dispatch` instead of costing an indirect
-/// call per event.
-pub trait KindClassify<E> {
-    /// Classify one event.
-    fn class(event: &E) -> (u8, &'static str);
-}
-
-/// Engine-level metrics observer (see module docs).
+/// Engine-level metrics observer (see module docs). The classifier `C`
+/// is the event alphabet's single [`KindClassify`] impl (cs-proto's
+/// `EventKinds`), shared with `EventStats` and `TraceHasher` so kind
+/// names agree across every instrument.
 pub struct TelemetryObserver<E, C: KindClassify<E>> {
     classify: std::marker::PhantomData<fn(&E) -> C>,
     registry: Rc<RefCell<MetricRegistry>>,

@@ -3,7 +3,8 @@
 //! The one deliberately non-deterministic module of this crate: it answers
 //! "where does engine wall-clock go, per event kind?" with real
 //! `Instant`-based timing. To keep determinism intact the measurements are
-//! quarantined — they are never written into the [`MetricRegistry`] or the
+//! quarantined — they are never written into the
+//! [`MetricRegistry`](crate::MetricRegistry) or the
 //! windowed JSONL stream, only rendered to a separate `profile.json`
 //! ([`DispatchProfiler::to_json`]), and the profiler reads nothing from
 //! (and writes nothing to) simulation state. cs-lint's `ambient-entropy`

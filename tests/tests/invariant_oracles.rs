@@ -18,7 +18,7 @@ use std::sync::Mutex;
 
 use coolstreaming::{RunOptions, Scenario};
 use cs_net::Bandwidth;
-use cs_proto::{finalize_sessions, CsWorld, Event, InvariantChecker};
+use cs_proto::{finalize_sessions, CsWorld, Event, EventKinds, InvariantChecker};
 use cs_sim::{Engine, MultiObserver, SimTime, TraceHasher};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/trace_hashes.txt");
@@ -132,9 +132,7 @@ fn server_crash_is_invariant_clean() {
 
     let mut engine = Engine::new(world);
     let checker = Rc::new(RefCell::new(InvariantChecker::new()));
-    let hasher = Rc::new(RefCell::new(TraceHasher::new(
-        Event::kind as fn(&Event) -> &'static str,
-    )));
+    let hasher = Rc::new(RefCell::new(TraceHasher::<Event, EventKinds>::new()));
     let mut multi = MultiObserver::new();
     multi.push(Box::new(Rc::clone(&checker)));
     multi.push(Box::new(Rc::clone(&hasher)));

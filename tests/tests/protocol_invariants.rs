@@ -14,13 +14,13 @@ fn assert_invariants(world: &CsWorld, label: &str) {
         // Partner bound M (per class).
         let max = world.params.max_partners_for(info.class);
         assert!(
-            peer.partners.len() <= max,
+            peer.partners().len() <= max,
             "{label}: {:?} has {} partners > M = {max}",
             info.id,
-            peer.partners.len()
+            peer.partners().len()
         );
         // Partner symmetry and liveness.
-        for (&q, view) in &peer.partners {
+        for (&q, view) in peer.partners() {
             assert!(
                 world.net.is_alive(q),
                 "{label}: {:?} partnered with dead {:?}",
@@ -29,7 +29,7 @@ fn assert_invariants(world: &CsWorld, label: &str) {
             );
             let back = world
                 .peer(q)
-                .map(|qp| qp.partners.contains_key(&info.id))
+                .map(|qp| qp.partners().contains_key(&info.id))
                 .unwrap_or(false);
             assert!(
                 back,
@@ -37,16 +37,16 @@ fn assert_invariants(world: &CsWorld, label: &str) {
                 info.id, q
             );
             // Directions are complementary.
-            let q_view_outgoing = world.peer(q).unwrap().partners[&info.id].outgoing;
+            let q_view_outgoing = world.peer(q).unwrap().partners()[&info.id].outgoing;
             assert_ne!(
                 view.outgoing, q_view_outgoing,
                 "{label}: both ends claim the same direction"
             );
         }
         // Parents are partners (selection never leaves the partner set).
-        for parent in peer.parents.iter().flatten() {
+        for parent in peer.parents().iter().flatten() {
             assert!(
-                peer.partners.contains_key(parent),
+                peer.partners().contains_key(parent),
                 "{label}: {:?} has non-partner parent {:?}",
                 info.id,
                 parent
@@ -54,7 +54,7 @@ fn assert_invariants(world: &CsWorld, label: &str) {
             // And the parent's children list contains us.
             let listed = world
                 .peer(*parent)
-                .map(|pp| pp.children.iter().any(|&(c, _)| c == info.id))
+                .map(|pp| pp.children().iter().any(|&(c, _)| c == info.id))
                 .unwrap_or(false);
             assert!(
                 listed,
@@ -63,13 +63,13 @@ fn assert_invariants(world: &CsWorld, label: &str) {
             );
         }
         // Children entries point back at us via their parent slots.
-        for &(c, j) in &peer.children {
+        for &(c, j) in peer.children() {
             if !world.net.is_alive(c) {
                 continue; // lazily cleaned at the next push round
             }
             if let Some(cp) = world.peer(c) {
                 assert_eq!(
-                    cp.parents[j as usize],
+                    cp.parents()[j as usize],
                     Some(info.id),
                     "{label}: stale subscription ({:?}, {j}) at {:?}",
                     c,
@@ -78,7 +78,7 @@ fn assert_invariants(world: &CsWorld, label: &str) {
             }
         }
         // Buffer sanity: no sub-stream is ahead of the live edge.
-        if let Some(buf) = &peer.buffer {
+        if let Some(buf) = peer.buffer() {
             if let Some(edge) = world.params.live_edge(SimTime::MAX) {
                 for i in 0..world.params.substreams {
                     if let Some(h) = buf.latest(i) {
