@@ -3,9 +3,11 @@
 //! ```text
 //! coolstream run      [--preset event_day|steady] [--scale F] [--rate F]
 //!                     [--seed N] [--start-h F] [--end-h F]
-//!                     [--config scenario.json] [--out DIR] [--quiet]
+//!                     [--scenario spec.json] [--config scenario.json]
+//!                     [--out DIR] [--quiet]
 //! coolstream analyze  --log FILE [--out DIR]
 //! coolstream config   [--preset event_day|steady] [--scale F] [--rate F]
+//!                     [--scenario spec.json] [--example]
 //! coolstream help
 //! ```
 //!
@@ -13,7 +15,10 @@
 //! `figures.txt` and `sessions.csv` into `--out` (default `./out`).
 //! The `analyze` command re-derives the log-based figures from a previously saved
 //! `log.txt` — the measurement-study workflow without re-simulating.
-//! `config` prints a scenario JSON to stdout for editing.
+//! `config` prints a versioned scenario-DSL JSON to stdout for editing
+//! (see DESIGN.md §10 and the `scenarios/` library); `--scenario` runs
+//! or validates such a file, `--config` still accepts the legacy raw
+//! `Scenario` shape.
 
 #![forbid(unsafe_code)]
 
@@ -27,7 +32,8 @@ use args::Args;
 use coolstreaming::experiments::{
     fig10_sessions, fig6_startup, fig7_ready_by_period, render_fig7, LogView,
 };
-use coolstreaming::{RunOptions, Scenario};
+use coolstreaming::proto::Event;
+use coolstreaming::{BaseSpec, RunOptions, Scenario, ScenarioSpec};
 use cs_logging::LogServer;
 use cs_sim::SimTime;
 use cs_telemetry::{RunManifest, TelemetryConfig};
@@ -47,10 +53,40 @@ fn git_describe() -> Option<String> {
     (!s.is_empty()).then(|| s.to_string())
 }
 
-fn build_scenario(args: &Args) -> Result<Scenario, String> {
+/// A runnable scenario plus the chaos injections its source file (if
+/// any) scheduled.
+#[derive(Debug)]
+struct Loaded {
+    scenario: Scenario,
+    injections: Vec<(SimTime, Event)>,
+}
+
+/// Load, strictly validate and compile a `--scenario FILE` DSL document.
+fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    ScenarioSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_scenario(args: &Args) -> Result<Loaded, String> {
+    if let Some(path) = args.get_str("scenario") {
+        let spec = load_spec(path)?;
+        let compiled = spec.compile().map_err(|e| format!("{path}: {e}"))?;
+        let mut scenario = compiled.scenario;
+        // --seed still wins, so sweeps can reuse one file across seeds.
+        scenario.seed = args.get("seed", scenario.seed);
+        return Ok(Loaded {
+            scenario,
+            injections: compiled.injections,
+        });
+    }
     if let Some(path) = args.get_str("config") {
+        // Legacy raw-Scenario JSON (the pre-DSL `coolstream config` shape).
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        return serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"));
+        let scenario = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        return Ok(Loaded {
+            scenario,
+            injections: Vec::new(),
+        });
     }
     let preset = args.get_str("preset").unwrap_or("steady");
     let mut scenario = match preset {
@@ -71,11 +107,17 @@ fn build_scenario(args: &Args) -> Result<Scenario, String> {
     } else if preset == "steady" {
         scenario.horizon = SimTime::from_mins(args.get("minutes", 20));
     }
-    Ok(scenario)
+    Ok(Loaded {
+        scenario,
+        injections: Vec::new(),
+    })
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    let scenario = build_scenario(args)?;
+    let Loaded {
+        scenario,
+        injections,
+    } = build_scenario(args)?;
     let quiet = args.has("quiet");
     let telemetry_dir = args.get_str("telemetry-dir").map(PathBuf::from);
     let options = RunOptions {
@@ -98,7 +140,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     // Wall-clock timing for the manifest only; sim behaviour never sees it.
     // cs-lint: allow(ambient-entropy) — manifest wall_ms is explicitly environment-dependent metadata
     let wall_start = std::time::Instant::now();
-    let observed = scenario.run_observed(options);
+    let observed = scenario.run_injected_observed(injections, options);
     let wall_ms = u64::try_from(wall_start.elapsed().as_millis()).unwrap_or(u64::MAX);
     if let Some(hash) = observed.trace_hash {
         println!("trace-hash {hash:016x}");
@@ -198,12 +240,61 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Build a versioned [`ScenarioSpec`] from the preset flags — the shape
+/// `coolstream config` emits and `run --scenario` reads back.
+fn spec_from_flags(args: &Args) -> Result<ScenarioSpec, String> {
+    let preset = args.get_str("preset").unwrap_or("steady");
+    let base = match preset {
+        "event_day" => BaseSpec::EventDay {
+            scale: args.get("scale", 0.02),
+        },
+        "steady" => BaseSpec::Steady {
+            rate: args.get("rate", 0.5),
+        },
+        other => return Err(format!("unknown preset {other:?} (event_day|steady)")),
+    };
+    let mut spec = ScenarioSpec {
+        name: preset.to_string(),
+        description: None,
+        base,
+        seed: None,
+        start_s: None,
+        end_s: None,
+        servers: None,
+        public_share: None,
+        free_rider_share: None,
+        policy: None,
+        snapshot_s: None,
+        events: Vec::new(),
+    };
+    if args.has("seed") {
+        spec.seed = Some(args.get("seed", 0));
+    }
+    if args.has("start-h") {
+        spec.start_s = Some((args.get::<f64>("start-h", 0.0) * 3600.0).round() as u64);
+    }
+    if args.has("end-h") {
+        spec.end_s = Some((args.get::<f64>("end-h", 0.0) * 3600.0).round() as u64);
+    } else if preset == "steady" {
+        spec.end_s = Some(args.get("minutes", 20) * 60);
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
 fn cmd_config(args: &Args) -> Result<(), String> {
-    let scenario = build_scenario(args)?;
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&scenario).expect("serializable")
-    );
+    // `config --scenario FILE` strictly validates an existing DSL file
+    // and prints its normalized form; `config --example` prints the
+    // fully-populated reference spec; otherwise the preset flags are
+    // rendered as a minimal versioned spec.
+    let spec = if let Some(path) = args.get_str("scenario") {
+        load_spec(path)?
+    } else if args.has("example") {
+        ScenarioSpec::example()
+    } else {
+        spec_from_flags(args)?
+    };
+    println!("{}", spec.to_json());
     Ok(())
 }
 
@@ -213,16 +304,22 @@ coolstream — Coolstreaming reproduction CLI
 USAGE:
   coolstream run      [--preset event_day|steady] [--scale F] [--rate F]
                       [--minutes N] [--seed N] [--start-h F] [--end-h F]
-                      [--config scenario.json] [--out DIR] [--quiet]
+                      [--scenario spec.json] [--config scenario.json]
+                      [--out DIR] [--quiet]
                       [--check-invariants] [--invariant-stride N]
                       [--trace-hash] [--telemetry-dir DIR]
                       [--telemetry-window SECS]
   coolstream analyze  --log FILE [--out DIR]
-  coolstream config   [--preset ...]          # print a scenario JSON
+  coolstream config   [--preset ...] [--scenario spec.json] [--example]
   coolstream help
 
 Flags may be spelled `--key value` or `--key=value`.
 
+  --scenario FILE      load a versioned scenario-DSL file (schema v1:
+                       base + overrides + timed chaos `events`; see
+                       DESIGN.md §10 and scenarios/). Unknown fields,
+                       wrong versions and out-of-range knobs are errors.
+  --config FILE        load a legacy raw-Scenario JSON (no events)
   --check-invariants   validate protocol invariants after every event
                        (exit non-zero on any violation)
   --invariant-stride N full-state validation every N-th event (default 1)
@@ -265,9 +362,13 @@ mod tests {
 
     #[test]
     fn build_scenario_presets() {
-        let s = build_scenario(&parse("run --preset steady --rate 0.8 --minutes 5")).unwrap();
+        let s = build_scenario(&parse("run --preset steady --rate 0.8 --minutes 5"))
+            .unwrap()
+            .scenario;
         assert_eq!(s.horizon, SimTime::from_mins(5));
-        let e = build_scenario(&parse("run --preset event_day --scale 0.01 --seed 9")).unwrap();
+        let e = build_scenario(&parse("run --preset event_day --scale 0.01 --seed 9"))
+            .unwrap()
+            .scenario;
         assert_eq!(e.seed, 9);
         assert_eq!(e.horizon, SimTime::from_hours(24));
         assert!(build_scenario(&parse("run --preset nope")).is_err());
@@ -275,7 +376,9 @@ mod tests {
 
     #[test]
     fn window_flags_override() {
-        let s = build_scenario(&parse("run --preset event_day --start-h 18 --end-h 19.5")).unwrap();
+        let s = build_scenario(&parse("run --preset event_day --start-h 18 --end-h 19.5"))
+            .unwrap()
+            .scenario;
         assert_eq!(s.start, SimTime::from_hours(18));
         assert_eq!(s.horizon, SimTime::from_secs(19 * 3600 + 1800));
         assert!(build_scenario(&parse("run --start-h 5 --end-h 4")).is_err());
@@ -283,11 +386,86 @@ mod tests {
 
     #[test]
     fn scenario_json_round_trips() {
-        let s = build_scenario(&parse("config --preset event_day --scale 0.03")).unwrap();
+        let s = build_scenario(&parse("config --preset event_day --scale 0.03"))
+            .unwrap()
+            .scenario;
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back.seed, s.seed);
         assert_eq!(back.horizon, s.horizon);
         assert_eq!(back.servers, s.servers);
+    }
+
+    /// Write `text` to a temp file and return its path.
+    fn temp_file(name: &str, text: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("coolstream-cli-test-{name}"));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn missing_scenario_file_is_a_clear_error() {
+        let e = build_scenario(&parse("run --scenario /nonexistent/nope.json")).unwrap_err();
+        assert!(e.contains("read /nonexistent/nope.json"), "{e}");
+    }
+
+    #[test]
+    fn malformed_scenario_json_is_a_clear_error() {
+        let path = temp_file("malformed.json", "{ this is not json");
+        let e = build_scenario(&parse(&format!("run --scenario {}", path.display()))).unwrap_err();
+        assert!(e.contains("malformed JSON"), "{e}");
+    }
+
+    #[test]
+    fn wrong_version_and_unknown_field_are_rejected() {
+        let v9 = temp_file(
+            "v9.json",
+            r#"{"version": 9, "name": "x", "base": {"kind": "steady", "rate": 0.5}}"#,
+        );
+        let e = build_scenario(&parse(&format!("run --scenario {}", v9.display()))).unwrap_err();
+        assert!(e.contains("unsupported schema version 9"), "{e}");
+
+        let unk = temp_file(
+            "unknown.json",
+            r#"{"version": 1, "name": "x", "base": {"kind": "steady", "rate": 0.5}, "sped": 3}"#,
+        );
+        let e = build_scenario(&parse(&format!("run --scenario {}", unk.display()))).unwrap_err();
+        assert!(e.contains("unknown field `sped`"), "{e}");
+    }
+
+    #[test]
+    fn scenario_file_compiles_with_seed_override() {
+        let path = temp_file(
+            "good.json",
+            r#"{
+                "version": 1, "name": "good", "seed": 3, "end_s": 300,
+                "base": {"kind": "steady", "rate": 0.4},
+                "events": [{"kind": "bootstrap_down", "at_s": 60},
+                           {"kind": "bootstrap_up", "at_s": 120}]
+            }"#,
+        );
+        let loaded = build_scenario(&parse(&format!("run --scenario {}", path.display()))).unwrap();
+        assert_eq!(loaded.scenario.seed, 3);
+        assert_eq!(loaded.scenario.horizon, SimTime::from_secs(300));
+        assert_eq!(loaded.injections.len(), 2);
+        let cli_seed = build_scenario(&parse(&format!(
+            "run --scenario {} --seed 44",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(cli_seed.scenario.seed, 44, "--seed must override the file");
+    }
+
+    #[test]
+    fn config_emits_the_versioned_schema() {
+        let spec =
+            spec_from_flags(&parse("config --preset steady --rate 0.8 --minutes 5")).unwrap();
+        let json = spec.to_json();
+        assert!(json.contains("\"version\": 1"), "{json}");
+        // And what config prints, run --scenario accepts.
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        let compiled = back.compile().unwrap();
+        assert_eq!(compiled.scenario.horizon, SimTime::from_mins(5));
     }
 }

@@ -37,9 +37,14 @@
 pub mod channels;
 pub mod experiments;
 mod scenario;
+mod spec;
 
 pub use channels::{zappers, ChannelRun, ChannelScenario};
 pub use scenario::{run_all, ObservedRun, RunArtifacts, RunOptions, Scenario, TelemetryRun};
+pub use spec::{
+    BaseSpec, ChaosSpec, CompiledSpec, PolicySpec, ScenarioSpec, ServerSpec, SpecError,
+    SPEC_VERSION,
+};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use cs_analysis as analysis;

@@ -156,10 +156,34 @@ impl Scenario {
         self.run_with_arrivals_observed(arrivals, options)
     }
 
+    /// Execute with timed chaos injections (a scenario file's `events`
+    /// section, compiled by [`crate::ScenarioSpec`]) scheduled into the
+    /// same deterministic queue as the workload arrivals. Injections are
+    /// scheduled after the arrivals, so the stable FIFO tie-break gives
+    /// an injection at time `t` effect *after* any arrival at `t` —
+    /// reproducibly, every run.
+    pub fn run_injected_observed(
+        &self,
+        injections: Vec<(SimTime, Event)>,
+        options: RunOptions,
+    ) -> ObservedRun {
+        let arrivals = self.workload.generate(self.seed, self.start, self.horizon);
+        self.run_inner(arrivals, injections, options)
+    }
+
     /// [`Scenario::run_with_arrivals`] with instrumentation options.
     pub fn run_with_arrivals_observed(
         &self,
         arrivals: Vec<(SimTime, cs_proto::UserSpec)>,
+        options: RunOptions,
+    ) -> ObservedRun {
+        self.run_inner(arrivals, Vec::new(), options)
+    }
+
+    fn run_inner(
+        &self,
+        arrivals: Vec<(SimTime, cs_proto::UserSpec)>,
+        injections: Vec<(SimTime, Event)>,
         options: RunOptions,
     ) -> ObservedRun {
         let net = Network::new(self.policy, self.latency, self.seed);
@@ -235,6 +259,9 @@ impl Scenario {
         }
         for (t, spec) in arrivals {
             engine.schedule_at(t, Event::Arrive(spec));
+        }
+        for (t, e) in injections {
+            engine.schedule_at(t, e);
         }
         let run_stats = engine.run_until(self.horizon);
         let end = engine.now();

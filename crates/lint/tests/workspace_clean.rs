@@ -6,6 +6,36 @@ use std::path::Path;
 
 use cs_lint::{lint_workspace, Config};
 
+/// The chaos-injection modules added for the scenario DSL live inside
+/// det-scope: `proto` (chaos.rs) and `core` (spec.rs) are det-crates, the
+/// module paths are not test-exempt, and determinism rules actually fire
+/// on offending source placed at those paths.
+#[test]
+fn injection_modules_are_in_det_scope() {
+    let cfg = Config::default();
+    for krate in ["proto", "core"] {
+        assert!(
+            cfg.det_crates.iter().any(|c| c == krate),
+            "det_crates must cover the {krate} injection module"
+        );
+    }
+    let bad = "use std::collections::HashMap;\nfn f() { let _ = std::time::Instant::now(); }\n";
+    for (krate, rel) in [
+        ("proto", "crates/proto/src/chaos.rs"),
+        ("core", "crates/core/src/spec.rs"),
+    ] {
+        let findings = cs_lint::lint_source_with(krate, rel, false, bad, &cfg);
+        assert!(
+            findings.iter().any(|f| f.rule.slug() == "det-collections"),
+            "{rel}: D1 must fire in det-scope"
+        );
+        assert!(
+            findings.iter().any(|f| f.rule.slug() == "ambient-entropy"),
+            "{rel}: D2 must fire in det-scope"
+        );
+    }
+}
+
 #[test]
 fn workspace_has_zero_findings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -24,6 +24,11 @@ impl Bandwidth {
     /// Zero bandwidth.
     pub const ZERO: Bandwidth = Bandwidth(0);
 
+    /// The simulator-wide uplink floor (8 kbps): the capacity model never
+    /// samples below it, and the free-rider chaos injections clamp
+    /// converted users down to exactly this value.
+    pub const FLOOR: Bandwidth = Bandwidth(8_000);
+
     /// From kilobits per second.
     #[inline]
     pub const fn kbps(k: u64) -> Bandwidth {
@@ -79,7 +84,7 @@ impl ClassCapacity {
             return Bandwidth(self.median.0.min(self.cap.0));
         };
         let raw = dist.sample(rng);
-        Bandwidth((raw as u64).min(self.cap.0).max(8_000))
+        Bandwidth((raw as u64).min(self.cap.0).max(Bandwidth::FLOOR.0))
     }
 }
 

@@ -34,6 +34,15 @@ impl Coord {
     pub fn dist(self, other: Coord) -> f64 {
         ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
     }
+
+    /// The coordinate's quadrant of the unit square (0 = south-west,
+    /// 1 = south-east, 2 = north-west, 3 = north-east). Chaos injections
+    /// use quadrants as a stand-in for geographic regions, so a
+    /// correlated regional outage takes out nodes that are also close in
+    /// the latency model.
+    pub fn quadrant(self) -> u8 {
+        u8::from(self.x >= 0.5) | (u8::from(self.y >= 0.5) << 1)
+    }
 }
 
 /// Affine distance → delay mapping with jitter.

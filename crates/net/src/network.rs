@@ -182,6 +182,26 @@ impl Network {
     pub fn connect_stats(&self, class: NodeClass) -> ConnectStats {
         self.connect_stats[class_ix(class)]
     }
+
+    /// The current reachability policy.
+    pub fn policy(&self) -> ConnectivityPolicy {
+        self.policy
+    }
+
+    /// Swap the reachability policy mid-run (chaos injection: a NAT-share
+    /// shift). Existing nodes keep the `permissive` flag sampled at
+    /// creation — middlebox behaviour is a property of the deployed box —
+    /// so the new policy governs *future* node creations and the
+    /// acceptance of attempts towards non-permissive targets.
+    pub fn set_policy(&mut self, policy: ConnectivityPolicy) {
+        self.policy = policy;
+    }
+
+    /// Overwrite a node's uplink capacity (chaos injection: upload skew /
+    /// free-riding). Takes effect at the node's next scheduling round.
+    pub fn set_upload(&mut self, id: NodeId, upload: Bandwidth) {
+        self.nodes[id.index()].upload = upload;
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 
 mod bootstrap;
 mod buffer;
+mod chaos;
 mod invariant;
 mod mcache;
 pub mod membership;

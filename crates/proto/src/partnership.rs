@@ -406,6 +406,7 @@ impl Partnership<'_> {
             DepartReason::Finished => self.w.stats.finished_departs += 1,
             DepartReason::Impatient => self.w.stats.impatient_departs += 1,
             DepartReason::GiveUp => self.w.stats.giveup_departs += 1,
+            DepartReason::Outage => self.w.stats.outage_departs += 1,
             DepartReason::StillActive => {}
         }
 

@@ -24,6 +24,9 @@ pub enum DepartReason {
     /// (§V.D: NAT/firewall users "simply depart and re-enter the overlay
     /// during peer churns").
     GiveUp,
+    /// A correlated regional outage (chaos injection) cut the session
+    /// short; the user may re-enter once the partition heals.
+    Outage,
     /// The run's horizon ended while the session was live.
     StillActive,
 }

@@ -12,7 +12,10 @@
 //! * [`Partnership`](crate::partnership::Partnership) — `PartnersReady`,
 //!   `PatienceCheck`, `Depart`;
 //! * [`Stream`](crate::stream::Stream) — `BmTick`, `SchedRound`,
-//!   `PlaybackTick`, `ReportTick`.
+//!   `PlaybackTick`, `ReportTick`;
+//! * [`Chaos`](crate::chaos::Chaos) — the scenario-DSL chaos injections
+//!   `RestartServer`, `RegionalOutage`, `SetPolicy`, `ScaleUploads`,
+//!   `FreeRiders` (see DESIGN.md §10).
 //!
 //! `Snapshot` is handled by the measurement layer
 //! ([`snapshot::capture`](crate::snapshot)).
@@ -38,6 +41,7 @@ use cs_sim::{Ctx, KindClassify, SimTime, World};
 use rand::Rng;
 
 use crate::bootstrap::Bootstrap;
+use crate::chaos::Chaos;
 use crate::membership::Membership;
 use crate::params::Params;
 use crate::partnership::Partnership;
@@ -96,6 +100,38 @@ pub enum Event {
     /// Failure injection: crash a dedicated server (by index into
     /// [`CsWorld::servers`]). Its children must repair via adaptation.
     CrashServer(usize),
+    /// Chaos injection: bring a previously crashed dedicated server back
+    /// into service under the same node id.
+    RestartServer(usize),
+    /// Chaos injection: a correlated regional outage — every live user
+    /// peer in the given [`cs_net::Coord`] quadrant crashes at once.
+    /// Survivable users (retries and watch time left) re-enter once the
+    /// partition `heal`s.
+    RegionalOutage {
+        /// Coordinate quadrant (0–3) taken out.
+        quadrant: u8,
+        /// Absolute time at which the partition heals and affected users
+        /// start rejoining; `SimTime::MAX` means it never heals.
+        heal: SimTime,
+    },
+    /// Chaos injection: swap the connectivity policy (a NAT-share shift —
+    /// e.g. the permissive-middlebox share collapsing at scale, §V.D).
+    SetPolicy(cs_net::ConnectivityPolicy),
+    /// Chaos injection: rescale every live user peer's uplink by the
+    /// rational factor `num / den` (upload-capacity skew).
+    ScaleUploads {
+        /// Numerator of the scale factor.
+        num: u32,
+        /// Denominator of the scale factor (> 0).
+        den: u32,
+    },
+    /// Chaos injection: turn a deterministic `per_mille` share of the
+    /// live user population into free-riders (uplink clamped to the
+    /// capacity-model floor).
+    FreeRiders {
+        /// Share of live users affected, in thousandths (0–1000).
+        per_mille: u16,
+    },
 }
 
 impl Event {
@@ -126,6 +162,11 @@ impl Event {
             Event::Snapshot => (10, "snapshot"),
             Event::SetBootstrap(_) => (11, "set_bootstrap"),
             Event::CrashServer(_) => (12, "crash_server"),
+            Event::RestartServer(_) => (13, "restart_server"),
+            Event::RegionalOutage { .. } => (14, "regional_outage"),
+            Event::SetPolicy(_) => (15, "set_policy"),
+            Event::ScaleUploads { .. } => (16, "scale_uploads"),
+            Event::FreeRiders { .. } => (17, "free_riders"),
         }
     }
 }
@@ -155,6 +196,8 @@ pub struct WorldStats {
     pub giveup_departs: u64,
     /// Finished (intended) departures.
     pub finished_departs: u64,
+    /// Sessions cut short by a correlated regional outage.
+    pub outage_departs: u64,
     /// Quality-triggered peer adaptations.
     pub adaptations: u64,
     /// Parent reselections forced by parent departure.
@@ -365,6 +408,14 @@ impl CsWorld {
         self.peers[id.index()] = None;
     }
 
+    /// Re-install peer state into a previously vacated slot (a server
+    /// restart re-using its original node id).
+    pub(crate) fn revive_peer(&mut self, peer: Peer) {
+        let ix = peer.id.index();
+        debug_assert!(self.peers[ix].is_none(), "slot {ix} still occupied");
+        self.peers[ix] = Some(peer);
+    }
+
     /// Schedule a retry arrival with a short think time.
     fn schedule_retry(&mut self, spec: UserSpec, ctx: &mut Ctx<'_, Event>) {
         let think = SimTime::from_millis(self.rng_retry.gen_range(2_000..6_000));
@@ -432,6 +483,13 @@ impl World for CsWorld {
             }
             Event::SetBootstrap(up) => Membership::of(self).set_bootstrap(up),
             Event::CrashServer(ix) => Membership::of(self).crash_server(ix, now),
+            Event::RestartServer(ix) => Chaos::of(self).restart_server(ix, now, ctx),
+            Event::RegionalOutage { quadrant, heal } => {
+                Chaos::of(self).regional_outage(quadrant, heal, now, ctx)
+            }
+            Event::SetPolicy(policy) => Chaos::of(self).set_policy(policy),
+            Event::ScaleUploads { num, den } => Chaos::of(self).scale_uploads(num, den),
+            Event::FreeRiders { per_mille } => Chaos::of(self).free_riders(per_mille),
         }
     }
 }

@@ -138,6 +138,10 @@ pub mod streams {
     pub const BASELINE: u64 = 7;
     /// Retry/impatience decisions.
     pub const RETRY: u64 = 8;
+    /// Free-rider selection (scenario DSL chaos modelling). Drawn only
+    /// when a workload enables the free-rider model, so legacy runs
+    /// consume exactly the streams they always did.
+    pub const FREERIDER: u64 = 9;
 }
 
 #[cfg(test)]

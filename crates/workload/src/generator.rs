@@ -2,7 +2,7 @@
 //! class, capacity, session behaviour.
 
 use cs_logging::UserId;
-use cs_net::CapacityModel;
+use cs_net::{Bandwidth, CapacityModel};
 use cs_proto::UserSpec;
 use cs_sim::rng::{streams, Xoshiro256PlusPlus};
 use cs_sim::SimTime;
@@ -12,6 +12,16 @@ use serde::{Deserialize, Serialize};
 use crate::classes::ClassMix;
 use crate::profile::RateProfile;
 use crate::sessions::SessionModel;
+
+/// Free-rider population model (scenario DSL chaos knob): each arriving
+/// user independently contributes nothing with probability `share` — its
+/// uplink is clamped to [`Bandwidth::FLOOR`] at generation time, before
+/// the overlay ever sees the node.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FreeRiderModel {
+    /// Probability in `[0, 1]` that an arriving user free-rides.
+    pub share: f64,
+}
 
 /// A full workload description.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -24,6 +34,11 @@ pub struct Workload {
     pub capacities: CapacityModel,
     /// Session behaviour.
     pub sessions: SessionModel,
+    /// Optional free-rider conversion applied to arrivals. `None` (the
+    /// default, and what legacy workload JSON deserializes to) draws
+    /// nothing from the free-rider RNG stream, so pre-existing runs keep
+    /// their exact arrival sequences.
+    pub free_riders: Option<FreeRiderModel>,
 }
 
 impl Workload {
@@ -35,6 +50,7 @@ impl Workload {
             mix: ClassMix::default(),
             capacities: CapacityModel::default(),
             sessions: SessionModel::default(),
+            free_riders: None,
         }
     }
 
@@ -49,6 +65,7 @@ impl Workload {
             mix: ClassMix::default(),
             capacities: CapacityModel::default(),
             sessions,
+            free_riders: None,
         }
     }
 
@@ -65,6 +82,9 @@ impl Workload {
         let mut arr_rng = Xoshiro256PlusPlus::stream(seed, streams::ARRIVALS);
         let mut sess_rng = Xoshiro256PlusPlus::stream(seed, streams::SESSIONS);
         let mut cap_rng = Xoshiro256PlusPlus::stream(seed, streams::CAPACITY);
+        // Dedicated stream, drawn only when the model is enabled: legacy
+        // workloads consume exactly the streams they always did.
+        let mut fr_rng = Xoshiro256PlusPlus::stream(seed, streams::FREERIDER);
 
         let lambda_max = self.profile.max_rate();
         let mut out = Vec::new();
@@ -87,7 +107,12 @@ impl Workload {
                 continue;
             }
             let class = self.mix.sample(&mut sess_rng);
-            let upload = self.capacities.sample(class, &mut cap_rng);
+            let mut upload = self.capacities.sample(class, &mut cap_rng);
+            if let Some(fr) = &self.free_riders {
+                if fr_rng.gen::<f64>() < fr.share {
+                    upload = Bandwidth::FLOOR;
+                }
+            }
             let leave_at = self.sessions.sample_leave_at(at, &mut sess_rng);
             let spec = UserSpec {
                 user: UserId(next_user),
@@ -221,6 +246,61 @@ mod tests {
         for (t, _) in &arrivals {
             assert!(*t >= SimTime::from_hours(5) && *t < SimTime::from_hours(6));
         }
+    }
+
+    #[test]
+    fn free_rider_model_clamps_expected_share() {
+        let mut w = Workload::steady(2.0);
+        w.free_riders = Some(FreeRiderModel { share: 0.4 });
+        let arrivals = w.generate(6, SimTime::ZERO, SimTime::from_hours(4));
+        let riders = arrivals
+            .iter()
+            .filter(|(_, s)| s.upload == Bandwidth::FLOOR)
+            .count() as f64
+            / arrivals.len() as f64;
+        assert!((riders - 0.4).abs() < 0.04, "free-rider share {riders}");
+    }
+
+    #[test]
+    fn free_rider_model_leaves_other_streams_untouched() {
+        // Enabling the model must not perturb arrival times, classes or
+        // session behaviour — only uploads may change (clamp to floor).
+        let base = Workload::steady(1.0);
+        let mut with_fr = base.clone();
+        with_fr.free_riders = Some(FreeRiderModel { share: 0.5 });
+        let a = base.generate(12, SimTime::ZERO, SimTime::from_hours(2));
+        let b = with_fr.generate(12, SimTime::ZERO, SimTime::from_hours(2));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.user, y.1.user);
+            assert_eq!(x.1.class, y.1.class);
+            assert_eq!(x.1.leave_at, y.1.leave_at);
+            assert_eq!(x.1.patience, y.1.patience);
+            assert!(y.1.upload == x.1.upload || y.1.upload == Bandwidth::FLOOR);
+        }
+        assert!(
+            b.iter().any(|(_, s)| s.upload == Bandwidth::FLOOR),
+            "share 0.5 converted nobody"
+        );
+    }
+
+    #[test]
+    fn legacy_workload_json_without_free_riders_still_loads() {
+        let json = serde_json::to_string(&Workload::steady(1.0)).unwrap();
+        // Strip the field entirely to emulate pre-DSL workload files.
+        let mut v = serde_json::from_str::<serde::Value>(&json).unwrap();
+        if let serde::Value::Map(m) = &mut v {
+            m.retain(|(k, _)| k != "free_riders");
+        }
+        let w: Workload = serde::Deserialize::from_value(&v).unwrap();
+        assert!(w.free_riders.is_none());
+        assert_eq!(
+            w.generate(3, SimTime::ZERO, SimTime::from_hours(1)).len(),
+            Workload::steady(1.0)
+                .generate(3, SimTime::ZERO, SimTime::from_hours(1))
+                .len()
+        );
     }
 
     #[test]

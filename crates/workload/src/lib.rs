@@ -24,6 +24,6 @@ mod profile;
 mod sessions;
 
 pub use classes::ClassMix;
-pub use generator::Workload;
+pub use generator::{FreeRiderModel, Workload};
 pub use profile::{RateProfile, Spike};
 pub use sessions::SessionModel;

@@ -317,6 +317,21 @@ impl<K: Serialize + std::hash::Hash + Ord, V: Serialize> Serialize for HashMap<K
     }
 }
 
+// Identity impls: `Value` serializes to (a clone of) itself, matching
+// real serde_json where `Value: Serialize + Deserialize`. Lets callers
+// parse arbitrary JSON into the tree (`serde_json::from_str::<Value>`)
+// and validate it manually — e.g. strict unknown-field rejection.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// JSON object keys must be strings; numbers and strings stringify the
 /// way serde_json does.
 fn key_to_string(v: &Value) -> String {

@@ -14,57 +14,20 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::sync::Mutex;
 
 use coolstreaming::{RunOptions, Scenario};
+use cs_integration::check_golden_in;
 use cs_net::Bandwidth;
 use cs_proto::{finalize_sessions, CsWorld, Event, EventKinds, InvariantChecker};
 use cs_sim::{Engine, MultiObserver, SimTime, TraceHasher};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/trace_hashes.txt");
-
-/// Serializes golden-file rewrites when `UPDATE_GOLDEN=1` (tests run on
-/// parallel threads within one process).
-static GOLDEN_LOCK: Mutex<()> = Mutex::new(());
+const GOLDEN_HEADER: &str = "Golden trace hashes. Regenerate: UPDATE_GOLDEN=1 cargo test -p cs-integration --test invariant_oracles";
 
 /// Compare `hash` against the golden entry `name`, or record it when
 /// `UPDATE_GOLDEN=1` is set.
 fn check_golden(name: &str, hash: u64) {
-    let _guard = GOLDEN_LOCK.lock().unwrap();
-    let text = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_default();
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        let mut lines: Vec<String> = text
-            .lines()
-            .filter(|l| l.starts_with('#') || l.split_whitespace().next() != Some(name))
-            .map(String::from)
-            .collect();
-        if lines.is_empty() {
-            lines.push(
-                "# Golden trace hashes. Regenerate: UPDATE_GOLDEN=1 cargo test -p cs-integration --test invariant_oracles"
-                    .into(),
-            );
-        }
-        lines.push(format!("{name} {hash:016x}"));
-        lines.sort_by_key(|l| !l.starts_with('#')); // comments first, then entries
-        std::fs::write(GOLDEN_PATH, lines.join("\n") + "\n").expect("write goldens");
-        return;
-    }
-    let want = text
-        .lines()
-        .filter(|l| !l.starts_with('#'))
-        .find_map(|l| {
-            let mut it = l.split_whitespace();
-            (it.next() == Some(name)).then(|| it.next().expect("hash column").to_string())
-        })
-        .unwrap_or_else(|| {
-            panic!("no golden entry {name:?} in {GOLDEN_PATH}; run with UPDATE_GOLDEN=1")
-        });
-    assert_eq!(
-        format!("{hash:016x}"),
-        want,
-        "trace hash for {name:?} diverged from the golden snapshot — \
-         if the event sequence changed intentionally, regenerate with UPDATE_GOLDEN=1"
-    );
+    check_golden_in(GOLDEN_PATH, GOLDEN_HEADER, name, hash);
 }
 
 const FULL_CHECK: RunOptions = RunOptions {
