@@ -17,7 +17,7 @@
 use cs_logging::UserId;
 use cs_net::Bandwidth;
 use cs_proto::UserSpec;
-use cs_sim::rng::Xoshiro256PlusPlus;
+use cs_sim::rng::{streams, Xoshiro256PlusPlus};
 use cs_sim::SimTime;
 use rand::Rng;
 use rayon::prelude::*;
@@ -51,10 +51,6 @@ pub struct ChannelRun {
     pub artifacts: RunArtifacts,
 }
 
-/// RNG stream id for channel assignment (distinct from the well-known
-/// streams in `cs_sim::rng::streams`).
-const CHANNEL_STREAM: u64 = 101;
-
 impl ChannelScenario {
     /// Zipf popularity shares over `channels` ranks.
     pub fn shares(&self) -> Vec<f64> {
@@ -74,7 +70,7 @@ impl ChannelScenario {
                 .workload
                 .generate(self.base.seed, self.base.start, self.base.horizon);
         let shares = self.shares();
-        let mut rng = Xoshiro256PlusPlus::stream(self.base.seed, CHANNEL_STREAM);
+        let mut rng = Xoshiro256PlusPlus::stream(self.base.seed, streams::CHANNEL);
         let mut per_channel: Vec<Vec<(SimTime, UserSpec)>> = vec![Vec::new(); self.channels];
         for (t, spec) in aggregate {
             let first = sample_channel(&shares, &mut rng);

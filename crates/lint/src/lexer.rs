@@ -21,7 +21,10 @@ pub enum TokKind {
     Int,
     /// Float literal (`0.0`, `1e-9`, `3f64`).
     Float,
-    /// String, byte-string, or raw-string literal (contents opaque).
+    /// String, byte-string, or raw-string literal. `text` holds the raw
+    /// contents between the quotes (escape sequences unprocessed) so
+    /// structural rules can read literal tables (e.g. event-kind names);
+    /// content rules ignore `Str` tokens entirely.
     Str,
     /// Char literal (`'x'`, `'\n'`).
     Char,
@@ -190,8 +193,11 @@ pub fn lex(src: &str) -> Lexed {
                     // Raw string: scan to closing quote + same number of '#'.
                     let tok_line = line;
                     j += 1;
+                    let content_start = j;
+                    let content_end;
                     loop {
                         if j >= n {
+                            content_end = j;
                             break;
                         }
                         if b[j] == '\n' {
@@ -205,6 +211,7 @@ pub fn lex(src: &str) -> Lexed {
                                 k += 1;
                             }
                             if k == hashes {
+                                content_end = j;
                                 j += 1 + hashes;
                                 break;
                             }
@@ -213,7 +220,7 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     out.tokens.push(Tok {
                         kind: TokKind::Str,
-                        text: String::new(),
+                        text: b[content_start..content_end.min(n)].iter().collect(),
                         line: tok_line,
                     });
                     i = j;
@@ -239,10 +246,13 @@ pub fn lex(src: &str) -> Lexed {
         if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
             let tok_line = line;
             i += if c == 'b' { 2 } else { 1 };
+            let content_start = i;
+            let mut content_end = n;
             while i < n {
                 match b[i] {
                     '\\' => i += 2,
                     '"' => {
+                        content_end = i;
                         i += 1;
                         break;
                     }
@@ -255,7 +265,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.tokens.push(Tok {
                 kind: TokKind::Str,
-                text: String::new(),
+                text: b[content_start..content_end.min(n)].iter().collect(),
                 line: tok_line,
             });
             continue;

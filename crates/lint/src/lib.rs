@@ -16,6 +16,15 @@
 //! | C3 | `panic-in-lib`      | `unwrap`/`expect`/`panic!`-family in library code |
 //! | S1 | `forbid-unsafe`     | crate roots missing `#![forbid(unsafe_code)]` |
 //! | M1 | `file-size`         | det-scope source files over 800 lines (god-object backstop) |
+//! | P1 | `shard-safety`      | cross-manager writes to another manager's `pub(super)` state |
+//! | R1 | `rng-stream`        | RNGs constructed outside the named-stream API |
+//! | X1 | `dispatch-exhaustive` | Event kinds / dispatch / KindClassify tables out of sync |
+//!
+//! D1–M1 are token-local. P1/R1/X1 are *structural and cross-file*: a
+//! brace-tree item parser ([`parse`]) recovers modules, impls, fns, and
+//! field visibility from the token stream, and a per-crate symbol table
+//! ([`symbols`]) is built over the whole workspace before [`cross`]
+//! checks run. Run `cs-lint --explain <RULE>` for any rule's rationale.
 //!
 //! Test code (`#[cfg(test)]` items, `tests/`, `benches/`, `examples/`,
 //! and test-only modules named `tests.rs` / `*_tests.rs`) is exempt.
@@ -31,13 +40,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod cross;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use rules::{Config, FileCtx, Finding, RuleId};
+pub use symbols::WorkspaceIndex;
 
 /// Lint a single source string as if it were `rel_path` inside
 /// `crate_name`. This is the entry point fixture tests use.
@@ -69,9 +84,9 @@ pub fn lint_source_with(
     rules::lint_tokens(&ctx, &lexed, &mask, cfg)
 }
 
-/// Walk `<root>/crates/**` and lint every non-test `.rs` file. Findings
-/// come back sorted by `(file, line, rule)` so output is deterministic.
-pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+/// Walk `<root>/crates/**` and build a [`symbols::FileIndex`] for every
+/// non-test `.rs` file (lexed, test-masked, item-parsed, sorted by path).
+fn index_files(root: &Path) -> Result<Vec<symbols::FileIndex>, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(format!(
@@ -79,7 +94,7 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String>
             root.display()
         ));
     }
-    let mut findings: Vec<Finding> = Vec::new();
+    let mut out: Vec<symbols::FileIndex> = Vec::new();
     for crate_dir in sorted_dirs(&crates_dir)? {
         let crate_name = file_name_of(&crate_dir);
         let mut files: Vec<PathBuf> = Vec::new();
@@ -90,18 +105,64 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String>
                 continue;
             }
             let rel = rel_display(&f, root);
+            let crate_rel = f
+                .strip_prefix(&crate_dir)
+                .map(|p| p.to_string_lossy().replace('\\', "/"))
+                .unwrap_or_default();
             let src = fs::read_to_string(&f)
                 .map_err(|e| format!("failed to read {}: {e}", f.display()))?;
-            let is_root = {
-                let r = f
-                    .strip_prefix(&crate_dir)
-                    .map(|p| p.to_string_lossy().replace('\\', "/"))
-                    .unwrap_or_default();
-                r == "src/lib.rs" || r == "src/main.rs"
-            };
-            findings.extend(lint_source_with(&crate_name, &rel, is_root, &src, cfg));
+            let is_root = crate_rel == "src/lib.rs" || crate_rel == "src/main.rs";
+            out.push(symbols::FileIndex::build(
+                &crate_name,
+                &rel,
+                &crate_rel,
+                is_root,
+                &src,
+            ));
         }
     }
+    Ok(out)
+}
+
+/// Build the workspace-wide symbol table (exposed for self-tests: the
+/// workspace-clean suite asserts the index sees the facts the cross-file
+/// rules depend on).
+pub fn build_index(root: &Path, cfg: &Config) -> Result<WorkspaceIndex, String> {
+    Ok(WorkspaceIndex::build(index_files(root)?, cfg))
+}
+
+/// Walk `<root>/crates/**` and lint every non-test `.rs` file: the
+/// per-file token rules, then the cross-file P1/R1/X1 rules over the
+/// workspace symbol table. Findings come back sorted by
+/// `(file, line, rule)` so output is deterministic.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let files = index_files(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &files {
+        let ctx = FileCtx {
+            crate_name: &f.crate_name,
+            rel_path: &f.rel_path,
+            is_crate_root: f.is_crate_root,
+            line_count: f.line_count,
+        };
+        findings.extend(rules::lint_tokens(&ctx, &f.lexed, &f.mask, cfg));
+    }
+
+    let index = WorkspaceIndex::build(files, cfg);
+    let cross_raw = cross::check_workspace(&index, cfg);
+    // Cross-file findings honor the same inline escapes as token rules;
+    // E1/E2 meta-findings were already emitted by the per-file pass.
+    for f in cross_raw {
+        let escapes = index
+            .crates
+            .iter()
+            .flat_map(|c| c.files.iter())
+            .find(|fi| fi.rel_path == f.file)
+            .map(|fi| fi.lexed.escapes.as_slice())
+            .unwrap_or(&[]);
+        findings.extend(rules::filter_escapes(vec![f], escapes));
+    }
+
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(findings)
@@ -197,7 +258,70 @@ pub fn to_json(findings: &[Finding]) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+/// The `--list-rules` table. Derived from the rule-metadata table in
+/// `rules.rs`, so it cannot drift from the rule set.
+pub fn list_rules_text() -> String {
+    let mut s = String::from("id  slug                    escapable  scope\n");
+    for r in RuleId::ALL {
+        s.push_str(&format!(
+            "{:<3} {:<23} {:<10} {}\n",
+            r.id(),
+            r.slug(),
+            if r.is_escapable() { "yes" } else { "no" },
+            r.scope()
+        ));
+    }
+    s
+}
+
+/// The CLI `--help` text. The per-rule lines are derived from the same
+/// rule-metadata table as `--list-rules` and `--explain`.
+pub fn help_text() -> String {
+    let mut s = String::from(
+        "cs-lint [ROOT] [options] — workspace determinism & protocol-safety lints\n\
+         \n\
+         options:\n\
+         \x20 --format text|json|sarif   output format (default text)\n\
+         \x20 --deny                     exit nonzero when findings remain\n\
+         \x20 --baseline PATH            suppress findings recorded in PATH\n\
+         \x20                            (default: <ROOT>/lint-baseline.json if present)\n\
+         \x20 --no-baseline              ignore any baseline file\n\
+         \x20 --write-baseline PATH      record the current findings to PATH and exit\n\
+         \x20 --list-rules               print the rule table\n\
+         \x20 --explain RULE             print a rule's rationale (id or slug)\n\
+         \n\
+         rules (see DESIGN.md §7 and §11):\n",
+    );
+    for r in RuleId::ALL {
+        s.push_str(&format!(
+            "  {:<3} {:<23} {}\n",
+            r.id(),
+            r.slug(),
+            r.summary()
+        ));
+    }
+    s
+}
+
+/// The `--explain <RULE>` text for a rule id or slug.
+pub fn explain_text(name: &str) -> Option<String> {
+    let r = RuleId::lookup(name)?;
+    Some(format!(
+        "{} ({})\nscope: {}\nescapable: {}\n\n{}\n{}\n",
+        r.id(),
+        r.slug(),
+        r.scope(),
+        if r.is_escapable() {
+            "yes — `// cs-lint: allow(<slug>) — <why safe>`"
+        } else {
+            "no"
+        },
+        r.summary(),
+        r.explain()
+    ))
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

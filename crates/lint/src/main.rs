@@ -1,60 +1,94 @@
 //! `cs-lint` CLI: lint the workspace, print findings, gate CI.
 //!
 //! ```text
-//! cs-lint [ROOT] [--format text|json] [--deny] [--list-rules]
+//! cs-lint [ROOT] [--format text|json|sarif] [--deny]
+//!         [--baseline PATH | --no-baseline] [--write-baseline PATH]
+//!         [--list-rules] [--explain RULE]
 //! ```
 //!
-//! Exit status is 0 unless `--deny` is given and findings exist (or the
-//! workspace cannot be read). `ROOT` defaults to the nearest ancestor of
-//! the current directory containing `crates/` (so both `cargo run -p
-//! cs-lint` from the root and invocations from a crate dir work).
+//! Exit status is 0 unless `--deny` is given and non-baselined findings
+//! exist (or the workspace cannot be read). `ROOT` defaults to the
+//! nearest ancestor of the current directory containing `crates/` (so
+//! both `cargo run -p cs-lint` from the root and invocations from a
+//! crate dir work). When `<ROOT>/lint-baseline.json` exists it is
+//! applied automatically; `--no-baseline` shows the raw finding set.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cs_lint::{lint_workspace, to_json, Config, RuleId};
+use cs_lint::baseline::Baseline;
+use cs_lint::sarif::to_sarif;
+use cs_lint::{explain_text, help_text, lint_workspace, list_rules_text, to_json, Config, RuleId};
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: Option<PathBuf>,
-    json: bool,
+    format: Format,
     deny: bool,
     list_rules: bool,
+    explain: Option<String>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
-        json: false,
+        format: Format::Text,
         deny: false,
         list_rules: false,
+        explain: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--deny" => args.deny = true,
             "--list-rules" => args.list_rules = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--explain" => match it.next() {
+                Some(r) => args.explain = Some(r),
+                None => return Err("--explain expects a rule id or slug".to_string()),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => args.baseline = Some(PathBuf::from(p)),
+                None => return Err("--baseline expects a path".to_string()),
+            },
+            "--write-baseline" => match it.next() {
+                Some(p) => args.write_baseline = Some(PathBuf::from(p)),
+                None => return Err("--write-baseline expects a path".to_string()),
+            },
             "--format" => match it.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("text") => args.json = false,
+                Some("json") => args.format = Format::Json,
+                Some("text") => args.format = Format::Text,
+                Some("sarif") => args.format = Format::Sarif,
                 other => {
                     return Err(format!(
-                        "--format expects `text` or `json`, got {}",
+                        "--format expects `text`, `json`, or `sarif`, got {}",
                         other.unwrap_or("nothing")
                     ))
                 }
             },
             "--help" | "-h" => {
-                println!(
-                    "cs-lint [ROOT] [--format text|json] [--deny] [--list-rules]\n\
-                     Workspace determinism & protocol-safety lints; see DESIGN.md §7."
-                );
+                print!("{}", help_text());
                 std::process::exit(0);
             }
             _ if a.starts_with('-') => return Err(format!("unknown flag {a}")),
             _ => args.root = Some(PathBuf::from(a)),
         }
+    }
+    if args.no_baseline && args.baseline.is_some() {
+        return Err("--baseline and --no-baseline are mutually exclusive".to_string());
     }
     Ok(args)
 }
@@ -82,19 +116,28 @@ fn main() -> ExitCode {
     };
 
     if args.list_rules {
-        println!("id  slug                    scope");
-        println!(
-            "D1  det-collections         deterministic crates (proto, sim, core, net, workload)"
-        );
-        println!("D2  ambient-entropy         all crates except crates/sim/src/rng.rs");
-        println!("C1  float-eq                all crates");
-        println!("C2  lossy-cast              proto, model");
-        println!("C3  panic-in-lib            library crates (all but cli, bench)");
-        println!("S1  forbid-unsafe           every crate root (src/lib.rs, src/main.rs)");
-        println!("M1  file-size               deterministic crates, files > 800 lines");
-        println!("E1  escape-missing-reason   escape comments themselves");
-        println!("E2  escape-unknown-rule     escape comments themselves");
+        print!("{}", list_rules_text());
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(name) = &args.explain {
+        return match explain_text(name) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "cs-lint: unknown rule `{name}`; known: {}",
+                    RuleId::ALL
+                        .iter()
+                        .map(|r| format!("{} ({})", r.id(), r.slug()))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
     }
 
     let root = match args.root.map(Ok).unwrap_or_else(discover_root) {
@@ -113,31 +156,82 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.json {
-        print!("{}", to_json(&findings));
+    // `--write-baseline` records the *raw* finding set and exits.
+    if let Some(path) = &args.write_baseline {
+        let bl = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(path, bl.to_json()) {
+            eprintln!("cs-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "cs-lint: wrote {} entr{} to {}",
+            bl.entries.len(),
+            if bl.entries.len() == 1 { "y" } else { "ies" },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Apply the baseline: explicit path, or <root>/lint-baseline.json when
+    // present. An explicitly passed baseline must exist and parse.
+    let mut stale: Vec<String> = Vec::new();
+    let findings = if args.no_baseline {
+        findings
     } else {
-        let severity = if args.deny { "error" } else { "warning" };
-        for f in &findings {
-            println!(
-                "{}:{}: {severity}[{}]: {} ({})",
-                f.file,
-                f.line,
-                f.rule.id(),
-                f.message,
-                f.rule.slug()
+        let (path, required) = match &args.baseline {
+            Some(p) => (p.clone(), true),
+            None => (root.join("lint-baseline.json"), false),
+        };
+        match std::fs::read_to_string(&path) {
+            Ok(src) => match Baseline::parse(&src) {
+                Ok(bl) => {
+                    let (kept, warn) = bl.apply(findings);
+                    stale = warn;
+                    kept
+                }
+                Err(e) => {
+                    eprintln!("cs-lint: {} is invalid: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) if required => {
+                eprintln!("cs-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            Err(_) => findings,
+        }
+    };
+
+    match args.format {
+        Format::Json => print!("{}", to_json(&findings)),
+        Format::Sarif => print!("{}", to_sarif(&findings, args.deny)),
+        Format::Text => {
+            let severity = if args.deny { "error" } else { "warning" };
+            for f in &findings {
+                println!(
+                    "{}:{}: {severity}[{}]: {} ({})",
+                    f.file,
+                    f.line,
+                    f.rule.id(),
+                    f.message,
+                    f.rule.slug()
+                );
+            }
+            let escapable = findings
+                .iter()
+                .filter(|f| !matches!(f.rule, RuleId::E1 | RuleId::E2))
+                .count();
+            eprintln!(
+                "cs-lint: {} finding(s) ({} rule, {} escape-syntax) in {}",
+                findings.len(),
+                escapable,
+                findings.len() - escapable,
+                root.display()
             );
         }
-        let escapable = findings
-            .iter()
-            .filter(|f| !matches!(f.rule, RuleId::E1 | RuleId::E2))
-            .count();
-        eprintln!(
-            "cs-lint: {} finding(s) ({} rule, {} escape-syntax) in {}",
-            findings.len(),
-            escapable,
-            findings.len() - escapable,
-            root.display()
-        );
+    }
+    for w in &stale {
+        eprintln!("cs-lint: warning: {w}");
     }
 
     if args.deny && !findings.is_empty() {

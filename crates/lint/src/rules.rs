@@ -8,72 +8,218 @@
 
 use crate::lexer::{AllowEscape, Lexed, Tok, TokKind};
 
-/// Rule identifiers. `E1`/`E2` are meta-rules about the escape syntax
-/// itself (missing reason, unknown rule slug).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum RuleId {
-    /// Nondeterministic hash collections in deterministic crates.
-    D1,
-    /// Wall-clock time or ambient randomness.
-    D2,
-    /// Float `==` / `!=` comparison.
-    C1,
-    /// Potentially lossy `as` numeric cast.
-    C2,
-    /// `unwrap`/`expect`/`panic!` in library code.
-    C3,
-    /// Crate root missing `#![forbid(unsafe_code)]`.
-    S1,
-    /// Deterministic-scope source file grown past the size limit.
-    M1,
-    /// Allow-escape comment without a reason.
-    E1,
-    /// Allow-escape comment naming an unknown rule.
-    E2,
+/// The single rule-metadata table.
+///
+/// Everything user-visible about a rule — its short id, escape slug,
+/// scope line (shown by `--list-rules`), one-line summary (shown in
+/// `--help`), and long-form rationale (shown by `--explain`) — is
+/// declared *once* here; the enum, the accessor methods, and
+/// [`RuleId::ALL`] are generated from the same invocation so CLI text
+/// cannot drift from the rule set (the sync is also asserted by tests).
+macro_rules! rule_table {
+    ($( $variant:ident {
+        id: $id:literal,
+        slug: $slug:literal,
+        escapable: $esc:literal,
+        scope: $scope:literal,
+        summary: $summary:literal,
+        explain: $explain:literal $(,)?
+    } ),+ $(,)?) => {
+        /// Rule identifiers. `E1`/`E2` are meta-rules about the escape
+        /// syntax itself (missing reason, unknown rule slug).
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+        pub enum RuleId {
+            $( #[doc = $summary] $variant, )+
+        }
+
+        impl RuleId {
+            /// Every rule, in severity-sort order.
+            pub const ALL: &'static [RuleId] = &[ $( RuleId::$variant, )+ ];
+
+            /// Short id (`D1`).
+            pub fn id(self) -> &'static str {
+                match self { $( RuleId::$variant => $id, )+ }
+            }
+
+            /// Human slug, also the rule name used inside an
+            /// `allow(...)` escape.
+            pub fn slug(self) -> &'static str {
+                match self { $( RuleId::$variant => $slug, )+ }
+            }
+
+            /// May an inline allow-escape comment waive this rule?
+            pub fn is_escapable(self) -> bool {
+                match self { $( RuleId::$variant => $esc, )+ }
+            }
+
+            /// Where the rule applies (one line, for `--list-rules`).
+            pub fn scope(self) -> &'static str {
+                match self { $( RuleId::$variant => $scope, )+ }
+            }
+
+            /// One-line summary (for `--help` / `--list-rules`).
+            pub fn summary(self) -> &'static str {
+                match self { $( RuleId::$variant => $summary, )+ }
+            }
+
+            /// Long-form rationale (for `--explain`), mirroring DESIGN.md.
+            pub fn explain(self) -> &'static str {
+                match self { $( RuleId::$variant => $explain, )+ }
+            }
+        }
+    };
+}
+
+rule_table! {
+    D1 {
+        id: "D1",
+        slug: "det-collections",
+        escapable: true,
+        scope: "deterministic crates (proto, sim, core, net, workload, telemetry)",
+        summary: "Nondeterministic hash collections in deterministic crates.",
+        explain: "Golden trace hashes require every run to be a pure function of \
+(configuration, seed). std's HashMap/HashSet iterate in randomized order (SipHash keys \
+are seeded from the OS), so any iteration that feeds protocol decisions or metric \
+output perturbs the trace. Use BTreeMap/BTreeSet, or cs-sim's DetMap/DetSet wrappers.",
+    },
+    D2 {
+        id: "D2",
+        slug: "ambient-entropy",
+        escapable: true,
+        scope: "all crates except crates/sim/src/rng.rs",
+        summary: "Wall-clock time or ambient randomness.",
+        explain: "Instant::now, SystemTime, thread_rng and rand::random read state the \
+seed does not control, so two runs with identical configuration diverge. All time must \
+come from SimTime and all randomness from the seeded workspace RNG; the only sanctioned \
+entropy source is crates/sim/src/rng.rs.",
+    },
+    C1 {
+        id: "C1",
+        slug: "float-eq",
+        escapable: true,
+        scope: "all crates",
+        summary: "Float `==` / `!=` comparison.",
+        explain: "Exact float equality is brittle under re-association and optimization \
+level, and the paper's rate/continuity metrics are all f64. Compare against an explicit \
+tolerance, or restructure so the comparison is on integers (block counts, tick indices).",
+    },
+    C2 {
+        id: "C2",
+        slug: "lossy-cast",
+        escapable: true,
+        scope: "proto, model",
+        summary: "Potentially lossy `as` numeric cast.",
+        explain: "`as` silently truncates and wraps. In the protocol and analytical-model \
+crates a lossy cast corrupts block indices or rates without any error path. Use \
+From/TryFrom, or escape with the range argument written down next to the cast.",
+    },
+    C3 {
+        id: "C3",
+        slug: "panic-in-lib",
+        escapable: true,
+        scope: "library crates (all but cli, bench)",
+        summary: "`unwrap`/`expect`/`panic!` in library code.",
+        explain: "A panic aborts a whole simulation campaign at some seed found hours in. \
+Library crates must return errors or defaults; unwrap/expect/panic!/unreachable!/todo! \
+are only acceptable with an escape carrying a proof of unreachability.",
+    },
+    S1 {
+        id: "S1",
+        slug: "forbid-unsafe",
+        escapable: true,
+        scope: "every crate root (src/lib.rs, src/main.rs)",
+        summary: "Crate root missing `#![forbid(unsafe_code)]`.",
+        explain: "The workspace is pure safe Rust by policy — there is no FFI and no \
+performance case that justifies unsafe in a discrete-event simulator at this scale. \
+Forbidding it at every crate root makes the policy load-bearing rather than aspirational.",
+    },
+    M1 {
+        id: "M1",
+        slug: "file-size",
+        escapable: true,
+        scope: "deterministic crates, files > 800 lines",
+        summary: "Deterministic-scope source file grown past the size limit.",
+        explain: "The CsWorld god-object was deliberately split along the paper's manager \
+seams (membership/partnership/stream; DESIGN.md §9). This backstop keeps det-scope files \
+from silently regrowing past 800 lines; split along module seams or escape on line 1 \
+with the reason the file is one unit.",
+    },
+    P1 {
+        id: "P1",
+        slug: "shard-safety",
+        escapable: true,
+        scope: "crates with src/<module>/state.rs manager state (e.g. proto)",
+        summary: "Cross-manager write to another manager's `pub(super)` state field.",
+        explain: "The manager decomposition gives each of partnership/stream/membership \
+sole write-ownership of its pub(super) state fields; other modules read freely but must \
+mutate through the owning manager's pub(crate) methods. A stray cross-manager field \
+write reintroduces the shared-mutable-state coupling the split removed, and is exactly \
+the hazard that breaks sharded (ROADMAP item 1) execution, where managers live on \
+different shards. Reads are not findings; only write sites outside src/<owner>.rs and \
+src/<owner>/** are.",
+    },
+    R1 {
+        id: "R1",
+        slug: "rng-stream",
+        escapable: true,
+        scope: "deterministic crates, outside crates/sim/src/rng.rs",
+        summary: "RNG constructed outside the named-stream API.",
+        explain: "Every random draw in det-scope must flow through \
+Xoshiro256PlusPlus::stream(master_seed, streams::<NAME>) with the stream id declared in \
+crates/sim/src/rng.rs's `streams` module (the gated FREERIDER stream is the exemplar: \
+present in every run's stream table whether or not free-riders are enabled, so toggling \
+the feature cannot shift any other stream). Raw ::new/seed_from_u64/split_seed calls or \
+ad-hoc stream ids silently re-seed or collide streams, which desynchronizes golden \
+traces in ways that only surface at scale.",
+    },
+    X1 {
+        id: "X1",
+        slug: "dispatch-exhaustive",
+        escapable: true,
+        scope: "files declaring `enum Event` + kind_class, and all KindClassify impls",
+        summary: "Event kinds, dispatch table, and KindClassify impls out of sync.",
+        explain: "Three artifacts must agree on the event alphabet: the Event enum, the \
+kind_class dense-index table (cs-telemetry indexes per-kind slot vectors by it, so \
+indices must be exactly 0..N-1, names unique), and the World::handle dispatch match. \
+Any KindClassify impl that enumerates kinds itself (rather than delegating to \
+kind_class) must also match, cross-crate. Appending a chaos-style event kind without \
+wiring all three is a hard finding instead of a runtime surprise.",
+    },
+    E1 {
+        id: "E1",
+        slug: "escape-missing-reason",
+        escapable: false,
+        scope: "escape comments themselves",
+        summary: "Allow-escape comment without a reason.",
+        explain: "An escape is a reviewed exception; the reason is the review. \
+`// cs-lint: allow(<rule>) — <why safe>` with no reason text is rejected so waivers \
+stay auditable.",
+    },
+    E2 {
+        id: "E2",
+        slug: "escape-unknown-rule",
+        escapable: false,
+        scope: "escape comments themselves",
+        summary: "Allow-escape comment naming an unknown rule.",
+        explain: "An escape naming a slug that is not an escapable rule is a typo that \
+would otherwise silently waive nothing; it is rejected so the escape either works or \
+is removed.",
+    },
 }
 
 impl RuleId {
-    /// Short id (`D1`).
-    pub fn id(self) -> &'static str {
-        match self {
-            RuleId::D1 => "D1",
-            RuleId::D2 => "D2",
-            RuleId::C1 => "C1",
-            RuleId::C2 => "C2",
-            RuleId::C3 => "C3",
-            RuleId::S1 => "S1",
-            RuleId::M1 => "M1",
-            RuleId::E1 => "E1",
-            RuleId::E2 => "E2",
-        }
-    }
-
-    /// Human slug, also the rule name used inside an `allow(...)` escape.
-    pub fn slug(self) -> &'static str {
-        match self {
-            RuleId::D1 => "det-collections",
-            RuleId::D2 => "ambient-entropy",
-            RuleId::C1 => "float-eq",
-            RuleId::C2 => "lossy-cast",
-            RuleId::C3 => "panic-in-lib",
-            RuleId::S1 => "forbid-unsafe",
-            RuleId::M1 => "file-size",
-            RuleId::E1 => "escape-missing-reason",
-            RuleId::E2 => "escape-unknown-rule",
-        }
-    }
-
     /// All escapable rules (meta-rules cannot be escaped).
-    pub fn escapable() -> &'static [RuleId] {
-        &[
-            RuleId::D1,
-            RuleId::D2,
-            RuleId::C1,
-            RuleId::C2,
-            RuleId::C3,
-            RuleId::S1,
-            RuleId::M1,
-        ]
+    pub fn escapable() -> impl Iterator<Item = RuleId> {
+        RuleId::ALL.iter().copied().filter(|r| r.is_escapable())
+    }
+
+    /// Look a rule up by short id (`P1`) or slug (`shard-safety`),
+    /// case-insensitively on the id.
+    pub fn lookup(name: &str) -> Option<RuleId> {
+        RuleId::ALL
+            .iter()
+            .copied()
+            .find(|r| r.id().eq_ignore_ascii_case(name) || r.slug() == name)
     }
 }
 
@@ -105,6 +251,10 @@ pub struct Config {
     /// M1: deterministic-scope source files may not exceed this many
     /// lines (the god-object backstop; see DESIGN.md §9).
     pub max_file_lines: u32,
+    /// The named-stream RNG module: the one file allowed to construct
+    /// RNGs directly, and whose `streams` module declares the stream-id
+    /// constants R1 resolves against.
+    pub stream_module: String,
 }
 
 impl Default for Config {
@@ -122,6 +272,7 @@ impl Default for Config {
             panic_exempt_crates: ["cli", "bench"].map(String::from).to_vec(),
             entropy_files: vec!["crates/sim/src/rng.rs".to_string()],
             max_file_lines: 800,
+            stream_module: "crates/sim/src/rng.rs".to_string(),
         }
     }
 }
@@ -476,8 +627,16 @@ fn has_forbid_unsafe(toks: &[Tok]) -> bool {
 /// malformed escapes. An escape on line `L` covers findings of its rule on
 /// lines `L` (trailing comment) and `L + 1` (comment-above style).
 fn apply_escapes(raw: Vec<Finding>, escapes: &[AllowEscape], rel_path: &str) -> Vec<Finding> {
+    let mut out = escape_meta_findings(escapes, rel_path);
+    out.extend(filter_escapes(raw, escapes));
+    out
+}
+
+/// E1/E2 meta-findings for malformed escape comments. Emitted once per
+/// file by the per-file pass (cross-file rules reuse only the filter).
+pub fn escape_meta_findings(escapes: &[AllowEscape], rel_path: &str) -> Vec<Finding> {
     let mut out: Vec<Finding> = Vec::new();
-    let known = |slug: &str| RuleId::escapable().iter().any(|r| r.slug() == slug);
+    let known = |slug: &str| RuleId::escapable().any(|r| r.slug() == slug);
 
     for e in escapes {
         if !known(&e.slug) {
@@ -489,7 +648,6 @@ fn apply_escapes(raw: Vec<Finding>, escapes: &[AllowEscape], rel_path: &str) -> 
                     "escape names unknown rule `{}`; one of: {}",
                     e.slug,
                     RuleId::escapable()
-                        .iter()
                         .map(|r| r.slug())
                         .collect::<Vec<_>>()
                         .join(", ")
@@ -507,16 +665,21 @@ fn apply_escapes(raw: Vec<Finding>, escapes: &[AllowEscape], rel_path: &str) -> 
             });
         }
     }
-
-    for f in raw {
-        let suppressed = escapes.iter().any(|e| {
-            e.has_reason && e.slug == f.rule.slug() && (e.line == f.line || e.line + 1 == f.line)
-        });
-        if !suppressed {
-            out.push(f);
-        }
-    }
     out
+}
+
+/// Drop findings covered by a well-formed escape of the matching rule on
+/// the same line or the line above.
+pub fn filter_escapes(raw: Vec<Finding>, escapes: &[AllowEscape]) -> Vec<Finding> {
+    raw.into_iter()
+        .filter(|f| {
+            !escapes.iter().any(|e| {
+                e.has_reason
+                    && e.slug == f.rule.slug()
+                    && (e.line == f.line || e.line + 1 == f.line)
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,518 @@
+//! Cross-file symbol tables.
+//!
+//! [`WorkspaceIndex`] is built once per lint run from every non-test
+//! `.rs` file under `crates/`: each file is lexed, test-masked, and
+//! item-parsed ([`parse`]), then crate-level facts the
+//! cross-file rules need are extracted:
+//!
+//! * **manager-owned state** — `pub(super)` fields declared in a
+//!   `src/<module>/state.rs` file, keyed by the owning module (P1);
+//! * **named RNG streams** — the `const` ids declared in the `streams`
+//!   module of the sanctioned entropy source, `crates/sim/src/rng.rs`
+//!   (R1);
+//! * **event alphabets** — an `enum Event`-style item co-located with a
+//!   `kind_class` dense-index table, the `World::handle` dispatch match,
+//!   and every non-test `KindClassify` impl in the workspace (X1).
+
+use crate::lexer::{self, Lexed};
+use crate::parse::{self, Item, ItemKind, Vis};
+use crate::rules::Config;
+
+/// One parsed, masked, indexed source file.
+pub struct FileIndex {
+    /// Crate directory name under `crates/`.
+    pub crate_name: String,
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Path relative to the crate directory (`src/stream/state.rs`).
+    pub crate_rel: String,
+    /// True for `src/lib.rs` / `src/main.rs`.
+    pub is_crate_root: bool,
+    /// Lexer output (tokens + allow-escapes).
+    pub lexed: Lexed,
+    /// Test-region bitmap parallel to `lexed.tokens`.
+    pub mask: Vec<bool>,
+    /// Recovered item forest.
+    pub items: Vec<Item>,
+    /// Total source lines.
+    pub line_count: u32,
+}
+
+impl FileIndex {
+    /// Lex, mask, and item-parse one source file.
+    pub fn build(
+        crate_name: &str,
+        rel_path: &str,
+        crate_rel: &str,
+        is_crate_root: bool,
+        src: &str,
+    ) -> Self {
+        let lexed = lexer::lex(src);
+        let mask = lexer::test_mask(&lexed.tokens);
+        let items = parse::parse_items(&lexed.tokens);
+        FileIndex {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            crate_rel: crate_rel.to_string(),
+            is_crate_root,
+            line_count: u32::try_from(src.lines().count()).unwrap_or(u32::MAX),
+            lexed,
+            mask,
+            items,
+        }
+    }
+
+    /// Is the token at `ix` inside a test region?
+    pub fn masked(&self, ix: usize) -> bool {
+        self.mask.get(ix).copied().unwrap_or(false)
+    }
+
+    /// Is the item (by its first body token, or declaration line fallback)
+    /// inside a test region? Items recovered from `#[cfg(test)]` modules
+    /// are invisible to cross-file rules.
+    pub fn item_masked(&self, item: &Item) -> bool {
+        match item.body {
+            Some((s, _)) => self.masked(s),
+            None => false,
+        }
+    }
+}
+
+/// A `pub(super)` field owned by a manager module.
+#[derive(Clone, Debug)]
+pub struct OwnedField {
+    /// Owning module name (`partnership`, `stream`, …): the `<m>` of
+    /// `src/<m>/state.rs`.
+    pub owner: String,
+    /// Field name.
+    pub field: String,
+    /// Struct the field belongs to.
+    pub in_struct: String,
+    /// Declaring file (workspace-relative).
+    pub decl_file: String,
+    /// Declaration line.
+    pub decl_line: u32,
+}
+
+/// One arm of a dense-index kind table: `Variant => (index, "name")`.
+#[derive(Clone, Debug)]
+pub struct KindArm {
+    /// Enum variant the arm matches.
+    pub variant: String,
+    /// Dense index.
+    pub index: Option<u32>,
+    /// Kind name string.
+    pub name: Option<String>,
+    /// Source line of the arm.
+    pub line: u32,
+}
+
+/// An event alphabet: the enum, its kind table, and its dispatch match.
+#[derive(Clone, Debug)]
+pub struct EventAlphabet {
+    /// Crate that declares the alphabet.
+    pub crate_name: String,
+    /// Declaring file (workspace-relative).
+    pub file: String,
+    /// Enum name (`Event`).
+    pub enum_name: String,
+    /// Enum declaration line.
+    pub enum_line: u32,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+    /// The `kind_class` dense-index table, if a fn of that name with a
+    /// match over the enum exists in the same file.
+    pub kind_table: Vec<KindArm>,
+    /// Line of the `kind_class` fn (0 when absent).
+    pub kind_fn_line: u32,
+    /// Variants matched by the `World::handle` dispatch in the same file.
+    pub dispatch_arms: Vec<KindArm>,
+    /// Line of the `handle` fn (0 when absent).
+    pub dispatch_fn_line: u32,
+    /// True when the dispatch match carries a catch-all arm.
+    pub dispatch_has_wildcard: bool,
+}
+
+/// A non-test `impl KindClassify<E> for T` with an inline kind table
+/// (delegating impls have an empty `arms`).
+#[derive(Clone, Debug)]
+pub struct ClassifierImpl {
+    /// Crate containing the impl.
+    pub crate_name: String,
+    /// File containing the impl (workspace-relative).
+    pub file: String,
+    /// The event type `E`.
+    pub event_type: String,
+    /// The implementing type `T`.
+    pub for_type: String,
+    /// Impl block line.
+    pub line: u32,
+    /// Inline `Variant => (index, "name")` arms, if the impl enumerates
+    /// kinds itself rather than delegating.
+    pub arms: Vec<KindArm>,
+}
+
+/// All files of one crate plus the crate-level facts extracted from them.
+pub struct CrateIndex {
+    /// Crate directory name.
+    pub name: String,
+    /// Indexed files, sorted by path.
+    pub files: Vec<FileIndex>,
+    /// Manager-owned `pub(super)` state fields (P1).
+    pub owned_fields: Vec<OwnedField>,
+}
+
+/// The workspace-wide symbol table.
+pub struct WorkspaceIndex {
+    /// Per-crate indices, sorted by crate name.
+    pub crates: Vec<CrateIndex>,
+    /// Stream ids declared in the sanctioned RNG module's `streams` mod.
+    pub stream_consts: Vec<String>,
+    /// Whether the sanctioned RNG module was seen at all (fixture
+    /// workspaces without one skip the unknown-stream check).
+    pub has_stream_module: bool,
+    /// Event alphabets (X1 anchors) across all crates.
+    pub alphabets: Vec<EventAlphabet>,
+    /// `KindClassify` impls across all crates.
+    pub classifiers: Vec<ClassifierImpl>,
+}
+
+impl WorkspaceIndex {
+    /// Assemble the workspace index from per-file indices.
+    pub fn build(mut files: Vec<FileIndex>, cfg: &Config) -> Self {
+        files.sort_by(|a, b| (&a.crate_name, &a.rel_path).cmp(&(&b.crate_name, &b.rel_path)));
+        let mut stream_consts = Vec::new();
+        let mut has_stream_module = false;
+        let mut alphabets = Vec::new();
+        let mut classifiers = Vec::new();
+
+        for f in &files {
+            if f.rel_path == cfg.stream_module {
+                has_stream_module = true;
+                stream_consts = extract_stream_consts(f);
+            }
+            alphabets.extend(extract_alphabet(f));
+            classifiers.extend(extract_classifiers(f));
+        }
+
+        let mut crates: Vec<CrateIndex> = Vec::new();
+        for f in files {
+            match crates.last_mut() {
+                Some(c) if c.name == f.crate_name => c.files.push(f),
+                _ => crates.push(CrateIndex {
+                    name: f.crate_name.clone(),
+                    files: vec![f],
+                    owned_fields: Vec::new(),
+                }),
+            }
+        }
+        for c in &mut crates {
+            c.owned_fields = extract_owned_fields(&c.files);
+        }
+
+        WorkspaceIndex {
+            crates,
+            stream_consts,
+            has_stream_module,
+            alphabets,
+            classifiers,
+        }
+    }
+}
+
+/// `pub const NAME: u64 = …;` items inside `mod streams { … }`.
+fn extract_stream_consts(f: &FileIndex) -> Vec<String> {
+    let mut out = Vec::new();
+    for item in parse::all_items(&f.items) {
+        if item.kind == ItemKind::Mod && item.name == "streams" {
+            for c in &item.children {
+                if c.kind == ItemKind::Const && !c.name.is_empty() {
+                    out.push(c.name.clone());
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The owning module of a `state.rs` file: `src/<m>/state.rs` → `<m>`.
+fn state_owner(crate_rel: &str) -> Option<&str> {
+    let rest = crate_rel.strip_prefix("src/")?;
+    let (owner, leaf) = rest.rsplit_once('/')?;
+    (leaf == "state.rs" && !owner.is_empty() && !owner.contains('/')).then_some(owner)
+}
+
+/// Collect `pub(super)` struct fields from every `src/<m>/state.rs`.
+fn extract_owned_fields(files: &[FileIndex]) -> Vec<OwnedField> {
+    let mut out = Vec::new();
+    for f in files {
+        let Some(owner) = state_owner(&f.crate_rel) else {
+            continue;
+        };
+        for item in parse::all_items(&f.items) {
+            if item.kind != ItemKind::Struct || f.item_masked(item) {
+                continue;
+            }
+            for field in &item.fields {
+                if field.vis == Vis::PubSuper {
+                    out.push(OwnedField {
+                        owner: owner.to_string(),
+                        field: field.name.clone(),
+                        in_struct: item.name.clone(),
+                        decl_file: f.rel_path.clone(),
+                        decl_line: field.line,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Arms of the first match inside fn `item`, interpreted against
+/// `enum_name`.
+fn match_arms_of(f: &FileIndex, item: &Item, enum_name: &str) -> (Vec<KindArm>, bool) {
+    let toks = &f.lexed.tokens;
+    let Some((bs, be)) = item.body else {
+        return (Vec::new(), false);
+    };
+    let Some(arms) = parse::first_match_arms(toks, (bs, be + 1)) else {
+        return (Vec::new(), false);
+    };
+    let mut out = Vec::new();
+    let mut wildcard = false;
+    for a in arms {
+        if parse::pat_is_wildcard(toks, a.pat) {
+            wildcard = true;
+            continue;
+        }
+        let Some((head, variant)) = parse::pat_variant(toks, a.pat) else {
+            continue;
+        };
+        if head != enum_name && head != "Self" {
+            continue;
+        }
+        let (index, name) = match parse::body_index_name(toks, a.body) {
+            Some((i, n)) => (Some(i), Some(n)),
+            None => (None, None),
+        };
+        out.push(KindArm {
+            variant,
+            index,
+            name,
+            line: a.line,
+        });
+    }
+    (out, wildcard)
+}
+
+/// Recognize an event alphabet in `f`: an enum named `Event` (non-test)
+/// plus, in the same file, a `kind_class` fn and a `handle` fn inside an
+/// `impl World for …` block.
+fn extract_alphabet(f: &FileIndex) -> Option<EventAlphabet> {
+    let items = parse::all_items(&f.items);
+    let en = items.iter().find(|i| {
+        i.kind == ItemKind::Enum && i.name == "Event" && !i.fields.is_empty() && !f.item_masked(i)
+    })?;
+    let kind_fn = items
+        .iter()
+        .find(|i| i.kind == ItemKind::Fn && i.name == "kind_class" && !f.item_masked(i));
+    let handle_fn = items
+        .iter()
+        .find(|i| i.kind == ItemKind::Fn && i.name == "handle" && !f.item_masked(i));
+    // Only anchor when a kind table exists: a plain `enum Event` in some
+    // unrelated crate is not an alphabet.
+    let kind_fn = kind_fn?;
+    let (kind_table, _) = match_arms_of(f, kind_fn, &en.name);
+    let (dispatch_arms, dispatch_has_wildcard) = match handle_fn {
+        Some(h) => match_arms_of(f, h, &en.name),
+        None => (Vec::new(), false),
+    };
+    Some(EventAlphabet {
+        crate_name: f.crate_name.clone(),
+        file: f.rel_path.clone(),
+        enum_name: en.name.clone(),
+        enum_line: en.line,
+        variants: en.fields.iter().map(|v| v.name.clone()).collect(),
+        kind_table,
+        kind_fn_line: kind_fn.line,
+        dispatch_arms,
+        dispatch_fn_line: handle_fn.map(|h| h.line).unwrap_or(0),
+        dispatch_has_wildcard,
+    })
+}
+
+/// Every non-test `impl KindClassify<E> for T` in `f`, with inline arms
+/// when the `class` fn enumerates kinds itself.
+fn extract_classifiers(f: &FileIndex) -> Vec<ClassifierImpl> {
+    let mut out = Vec::new();
+    for item in parse::all_items(&f.items) {
+        if item.kind != ItemKind::Impl
+            || item.trait_name.as_deref() != Some("KindClassify")
+            || f.item_masked(item)
+        {
+            continue;
+        }
+        let Some(event_type) = item.trait_arg.clone() else {
+            continue;
+        };
+        let arms = item
+            .children
+            .iter()
+            .find(|c| c.kind == ItemKind::Fn && c.name == "class")
+            .map(|class_fn| match_arms_of(f, class_fn, &event_type).0)
+            .unwrap_or_default();
+        out.push(ClassifierImpl {
+            crate_name: f.crate_name.clone(),
+            file: f.rel_path.clone(),
+            event_type,
+            for_type: item.name.clone(),
+            line: item.line,
+            arms,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_name: &str, crate_rel: &str, src: &str) -> FileIndex {
+        FileIndex::build(
+            crate_name,
+            &format!("crates/{crate_name}/{crate_rel}"),
+            crate_rel,
+            false,
+            src,
+        )
+    }
+
+    #[test]
+    fn owned_fields_come_from_state_modules() {
+        let f = file(
+            "proto",
+            "src/stream/state.rs",
+            r#"
+            pub struct StreamState {
+                pub(super) parents: Vec<Option<NodeId>>,
+                children: Vec<(NodeId, u32)>,
+                pub(super) next_play: u64,
+            }
+            "#,
+        );
+        let owned = extract_owned_fields(&[f]);
+        let names: Vec<(&str, &str)> = owned
+            .iter()
+            .map(|o| (o.owner.as_str(), o.field.as_str()))
+            .collect();
+        assert_eq!(names, vec![("stream", "parents"), ("stream", "next_play")]);
+    }
+
+    #[test]
+    fn non_state_files_contribute_no_owned_fields() {
+        let f = file(
+            "proto",
+            "src/stream.rs",
+            "pub struct X { pub(super) y: u32 }",
+        );
+        assert!(extract_owned_fields(&[f]).is_empty());
+    }
+
+    #[test]
+    fn stream_consts_from_streams_module() {
+        let f = file(
+            "sim",
+            "src/rng.rs",
+            r#"
+            pub mod streams {
+                pub const ARRIVALS: u64 = 1;
+                pub const FREERIDER: u64 = 9;
+            }
+            "#,
+        );
+        assert_eq!(extract_stream_consts(&f), vec!["ARRIVALS", "FREERIDER"]);
+    }
+
+    #[test]
+    fn alphabet_extraction_reads_kind_table_and_dispatch() {
+        let f = file(
+            "proto",
+            "src/world.rs",
+            r#"
+            pub enum Event { A(u32), B, C { x: u8 } }
+            impl Event {
+                pub fn kind_class(&self) -> (u8, &'static str) {
+                    match self {
+                        Event::A(_) => (0, "a"),
+                        Event::B => (1, "b"),
+                        Event::C { .. } => (2, "c"),
+                    }
+                }
+            }
+            impl World for W {
+                fn handle(&mut self, ctx: &mut Ctx<'_, Event>, event: Event) {
+                    match event {
+                        Event::A(x) => f(x),
+                        Event::B => {}
+                        Event::C { .. } => g(),
+                    }
+                }
+            }
+            "#,
+        );
+        let al = extract_alphabet(&f).expect("alphabet");
+        assert_eq!(al.variants, vec!["A", "B", "C"]);
+        assert_eq!(al.kind_table.len(), 3);
+        assert_eq!(al.kind_table[1].index, Some(1));
+        assert_eq!(al.kind_table[1].name.as_deref(), Some("b"));
+        assert_eq!(al.dispatch_arms.len(), 3);
+        assert!(!al.dispatch_has_wildcard);
+    }
+
+    #[test]
+    fn classifier_impls_are_collected() {
+        let f = file(
+            "telemetry",
+            "src/obs.rs",
+            r#"
+            impl KindClassify<Event> for StaleKinds {
+                fn class(event: &Event) -> (u8, &'static str) {
+                    match event {
+                        Event::A(_) => (0, "a"),
+                        Event::B => (1, "bee"),
+                    }
+                }
+            }
+            impl KindClassify<Event> for Delegating {
+                fn class(event: &Event) -> (u8, &'static str) { event.kind_class() }
+            }
+            "#,
+        );
+        let cls = extract_classifiers(&f);
+        assert_eq!(cls.len(), 2);
+        assert_eq!(cls[0].for_type, "StaleKinds");
+        assert_eq!(cls[0].arms.len(), 2);
+        assert_eq!(cls[0].arms[1].name.as_deref(), Some("bee"));
+        assert!(cls[1].arms.is_empty());
+    }
+
+    #[test]
+    fn test_masked_impls_are_ignored() {
+        let f = file(
+            "telemetry",
+            "src/obs.rs",
+            r#"
+            #[cfg(test)]
+            mod tests {
+                impl KindClassify<Tick> for TickKinds {
+                    fn class(_: &Tick) -> (u8, &'static str) { (0, "tick") }
+                }
+            }
+            "#,
+        );
+        assert!(extract_classifiers(&f).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the committed-baseline machinery: serialization
+//! round-trips bit-exactly (including messages with quotes, backslashes,
+//! newlines, and non-ASCII), and a baseline suppresses *exactly* its
+//! recorded findings — no more, no fewer.
+
+use cs_lint::baseline::Baseline;
+use cs_lint::{Finding, RuleId};
+use proptest::prelude::*;
+
+/// A message long enough that the generated strategies (≤ 24 chars)
+/// can never collide with it.
+const FRESH_MSG: &str = "this finding is definitely not recorded in the baseline";
+
+fn mk(raw: &[(String, u32, usize, String)]) -> Vec<Finding> {
+    raw.iter()
+        .map(|(file, line, rule_ix, msg)| Finding {
+            file: format!("crates/{file}.rs"),
+            line: *line,
+            rule: RuleId::ALL[rule_ix % RuleId::ALL.len()],
+            message: msg.clone(),
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn baseline_round_trips_and_suppresses_exactly(
+        raw in proptest::collection::vec((".{0,8}", 1u32..400, 0usize..32, ".{0,24}"), 0..24),
+    ) {
+        let findings = mk(&raw);
+        let bl = Baseline::from_findings(&findings);
+
+        // Serialization round-trips through the hand-rolled JSON reader.
+        let reparsed = Baseline::parse(&bl.to_json());
+        prop_assert!(reparsed.is_ok(), "parse failed: {:?}", reparsed.err());
+        prop_assert_eq!(&reparsed.unwrap_or_default(), &bl);
+
+        // Entry counts total the finding count.
+        let total: u32 = bl.entries.iter().map(|e| e.count).sum();
+        prop_assert_eq!(total as usize, findings.len());
+
+        // The recorded findings are fully suppressed, with no stale noise.
+        let (kept, warn) = bl.apply(findings.clone());
+        prop_assert!(kept.is_empty(), "leaked: {kept:?}");
+        prop_assert!(warn.is_empty(), "stale: {warn:?}");
+
+        // One *new* finding is not suppressed.
+        let mut more = findings.clone();
+        more.push(Finding {
+            file: "crates/fresh.rs".to_string(),
+            line: 1,
+            rule: RuleId::D1,
+            message: FRESH_MSG.to_string(),
+        });
+        let (kept, _) = bl.apply(more);
+        prop_assert_eq!(kept.len(), 1);
+        prop_assert_eq!(kept[0].message.as_str(), FRESH_MSG);
+
+        // Dropping one recorded finding surfaces exactly one stale unit.
+        if !findings.is_empty() {
+            let mut fewer = findings.clone();
+            fewer.pop();
+            let (kept, warn) = bl.apply(fewer);
+            prop_assert!(kept.is_empty());
+            prop_assert_eq!(warn.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: the owning manager module may write its own state.
+
+pub fn advance(s: &mut super::state::StreamState) {
+    s.next_play += 1;
+    s.parents[0] = 7;
+}

@@ -1,0 +1,7 @@
+//! Fixture: stream-manager state block (mirrors the PR 4 split).
+
+pub struct StreamState {
+    pub(super) next_play: u64,
+    pub(super) parents: Vec<u32>,
+    children: Vec<u32>,
+}

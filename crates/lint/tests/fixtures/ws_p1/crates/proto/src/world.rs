@@ -1,0 +1,9 @@
+//! Fixture: a foreign module reading (fine) and writing (P1) stream state.
+
+pub fn tick(p: &mut Peer, i: usize) {
+    let seen = p.stream.next_play;
+    p.stream.next_play = seen + 1;
+    p.stream.parents[i] = 0;
+    // cs-lint: allow(shard-safety) — fixture: sanctioned bulk reset during teardown
+    p.stream.next_play = 0;
+}

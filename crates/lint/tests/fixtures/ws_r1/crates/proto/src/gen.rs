@@ -1,0 +1,11 @@
+//! Fixture: raw RNG constructions in det-scope (R1 positives + escape).
+
+pub fn make(seed: u64) {
+    let a = Xoshiro256PlusPlus::new(seed);
+    let b = Xoshiro256PlusPlus::stream(seed, LOCAL_STREAM);
+    let c = Xoshiro256PlusPlus::stream(seed, streams::MISSING);
+    let d = Xoshiro256PlusPlus::stream(seed, streams::ARRIVALS);
+    // cs-lint: allow(rng-stream) — fixture: scratch generator for a local estimate
+    let e = Xoshiro256PlusPlus::new(seed);
+    keep(a, b, c, d, e);
+}

@@ -1,0 +1,9 @@
+//! Fixture: the sanctioned stream module (path matches
+//! `Config::stream_module` relative to the fixture root).
+
+pub mod streams {
+    /// Workload arrival process.
+    pub const ARRIVALS: u64 = 1;
+    /// Gated free-rider stream.
+    pub const FREERIDER: u64 = 9;
+}

@@ -1,0 +1,26 @@
+//! Fixture: event alphabet whose dispatch match lost an arm (X1).
+
+pub enum Event {
+    Arrive(u32),
+    Depart(u32),
+    Tick,
+}
+
+impl Event {
+    pub fn kind_class(&self) -> (u8, &'static str) {
+        match self {
+            Event::Arrive(_) => (0, "arrive"),
+            Event::Depart(_) => (1, "depart"),
+            Event::Tick => (2, "tick"),
+        }
+    }
+}
+
+impl World for CsWorld {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Event>, event: Event) {
+        match event {
+            Event::Arrive(id) => self.on_arrive(ctx, id),
+            Event::Depart(id) => self.on_depart(ctx, id),
+        }
+    }
+}

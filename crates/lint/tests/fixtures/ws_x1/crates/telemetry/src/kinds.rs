@@ -1,0 +1,28 @@
+//! Fixture: cross-crate KindClassify impls — one drifted (X1), one
+//! escaped, one delegating (never checked).
+
+impl KindClassify<Event> for DriftedKinds {
+    fn class(event: &Event) -> (u8, &'static str) {
+        match event {
+            Event::Arrive(_) => (0, "arrive"),
+            Event::Depart(_) => (1, "leave"),
+            Event::Tick => (2, "tick"),
+        }
+    }
+}
+
+// cs-lint: allow(dispatch-exhaustive) — fixture: legacy impl kept for a migration window
+impl KindClassify<Event> for PartialKinds {
+    fn class(event: &Event) -> (u8, &'static str) {
+        match event {
+            Event::Arrive(_) => (0, "arrive"),
+            Event::Depart(_) => (1, "depart"),
+        }
+    }
+}
+
+impl KindClassify<Event> for DelegatingKinds {
+    fn class(event: &Event) -> (u8, &'static str) {
+        event.kind_class()
+    }
+}

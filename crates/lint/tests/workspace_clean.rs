@@ -1,10 +1,15 @@
 //! The workspace itself must lint clean: every D1/D2/C1/C2/C3/S1 finding in
 //! `crates/` is either fixed or carries a reasoned allow-escape. This is the
 //! same check CI runs via `cargo run -p cs-lint -- --deny`.
+//!
+//! The symbol-table assertions below are the guard against the cross-file
+//! pass silently seeing *nothing*: "zero P1/R1/X1 findings" is only
+//! meaningful if the index provably contains the manager fields, the
+//! stream-id table, and the event alphabet the rules check.
 
 use std::path::Path;
 
-use cs_lint::{lint_workspace, Config};
+use cs_lint::{build_index, lint_workspace, Config};
 
 /// The chaos-injection modules added for the scenario DSL live inside
 /// det-scope: `proto` (chaos.rs) and `core` (spec.rs) are det-crates, the
@@ -36,13 +41,89 @@ fn injection_modules_are_in_det_scope() {
     }
 }
 
-#[test]
-fn workspace_has_zero_findings() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
-        .expect("crates/lint sits two levels below the workspace root");
-    let findings = lint_workspace(root, &Config::default()).expect("workspace walk succeeds");
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+/// The cross-file pass must actually *see* the structures it guards.
+#[test]
+fn symbol_table_sees_the_real_workspace() {
+    let cfg = Config::default();
+    let index = build_index(workspace_root(), &cfg).expect("workspace walk succeeds");
+
+    // R1: the sanctioned stream module and its full stream-id table,
+    // including the PR 6 gated FREERIDER stream and the CHANNEL id that
+    // used to hide in cs-core as a local constant.
+    assert!(index.has_stream_module);
+    for name in [
+        "ARRIVALS",
+        "SESSIONS",
+        "MEMBERSHIP",
+        "SELECTION",
+        "NETWORK",
+        "CAPACITY",
+        "BASELINE",
+        "RETRY",
+        "FREERIDER",
+        "CHANNEL",
+    ] {
+        assert!(
+            index.stream_consts.iter().any(|s| s == name),
+            "streams::{name} missing from the symbol table"
+        );
+    }
+
+    // P1: the proto manager split's pub(super) state fields are owned.
+    let proto = index
+        .crates
+        .iter()
+        .find(|c| c.name == "proto")
+        .expect("proto crate indexed");
+    for (owner, field) in [
+        ("partnership", "last_adapt"),
+        ("stream", "parents"),
+        ("stream", "next_play"),
+    ] {
+        assert!(
+            proto
+                .owned_fields
+                .iter()
+                .any(|o| o.owner == owner && o.field == field),
+            "pub(super) field {owner}/{field} missing from the symbol table \
+             (owned: {:?})",
+            proto
+                .owned_fields
+                .iter()
+                .map(|o| format!("{}/{}", o.owner, o.field))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // X1: exactly one event alphabet, and enum / kind_class / dispatch
+    // agree in arity with no wildcard hiding missing arms.
+    assert_eq!(index.alphabets.len(), 1, "one Event alphabet expected");
+    let al = &index.alphabets[0];
+    assert_eq!(al.file, "crates/proto/src/world.rs");
+    assert!(
+        al.variants.len() >= 18,
+        "event alphabet shrank unexpectedly"
+    );
+    assert_eq!(al.kind_table.len(), al.variants.len());
+    assert_eq!(al.dispatch_arms.len(), al.variants.len());
+    assert!(!al.dispatch_has_wildcard);
+    // kind_class indices are dense 0..N (the telemetry slot-vec contract).
+    let mut idx: Vec<u32> = al.kind_table.iter().filter_map(|a| a.index).collect();
+    idx.sort_unstable();
+    assert_eq!(idx, (0..al.variants.len() as u32).collect::<Vec<_>>());
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let findings =
+        lint_workspace(workspace_root(), &Config::default()).expect("workspace walk succeeds");
     assert!(
         findings.is_empty(),
         "workspace must be lint-clean; run `cargo run -p cs-lint` to see:\n{}",

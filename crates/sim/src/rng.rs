@@ -142,6 +142,11 @@ pub mod streams {
     /// when a workload enables the free-rider model, so legacy runs
     /// consume exactly the streams they always did.
     pub const FREERIDER: u64 = 9;
+    /// Channel assignment and zapping in multi-channel scenarios. Id 101
+    /// predates this table (it was a local constant in cs-core), so it
+    /// keeps its historical value — changing it would re-seed every
+    /// multi-channel golden trace.
+    pub const CHANNEL: u64 = 101;
 }
 
 #[cfg(test)]
