@@ -102,6 +102,7 @@ fn main() {
                         check_invariants: false,
                         invariant_stride: 0,
                         trace_hash: true,
+                        record_spans: false,
                         telemetry: None,
                     })
                     .trace_hash,
@@ -114,6 +115,7 @@ fn main() {
                 check_invariants: true,
                 invariant_stride: 16,
                 trace_hash: false,
+                record_spans: false,
                 telemetry: None,
             });
             assert!(run.invariants.as_ref().unwrap().is_clean());
@@ -126,6 +128,7 @@ fn main() {
                 check_invariants: true,
                 invariant_stride: 1,
                 trace_hash: false,
+                record_spans: false,
                 telemetry: None,
             });
             assert!(run.invariants.as_ref().unwrap().is_clean());

@@ -34,6 +34,7 @@ fn options(telemetry: Option<TelemetryConfig>) -> RunOptions {
         check_invariants: false,
         invariant_stride: 0,
         trace_hash: false,
+        record_spans: false,
         telemetry,
     }
 }

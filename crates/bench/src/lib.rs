@@ -11,6 +11,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
+pub use harness::{
+    compare, compare_to_file, run_bench, BenchOptions, BenchReport, BenchRun, CompareOutcome,
+    DispatchPercentiles, ScenarioBench, BENCH_SCHEMA, DEFAULT_FAIL_PCT, DEFAULT_WARN_PCT,
+};
+
 use coolstreaming::{RunArtifacts, Scenario};
 use cs_sim::SimTime;
 

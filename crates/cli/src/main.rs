@@ -5,6 +5,8 @@
 //!                     [--seed N] [--start-h F] [--end-h F]
 //!                     [--scenario spec.json] [--config scenario.json]
 //!                     [--out DIR] [--quiet]
+//! coolstream bench    [--quick] [--reps N] [--scenarios a,b,c]
+//!                     [--out-dir DIR] [--compare BENCH.json]
 //! coolstream analyze  --log FILE [--out DIR]
 //! coolstream config   [--preset event_day|steady] [--scale F] [--rate F]
 //!                     [--scenario spec.json] [--example]
@@ -25,7 +27,7 @@
 mod args;
 mod output;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use args::Args;
@@ -126,6 +128,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         // The telemetry manifest records the trace hash, so --telemetry-dir
         // implies --trace-hash.
         trace_hash: args.has("trace-hash") || telemetry_dir.is_some(),
+        record_spans: false,
         telemetry: telemetry_dir.is_some().then(|| TelemetryConfig {
             window: SimTime::from_secs(args.get("telemetry-window", 300)),
             profile: true,
@@ -158,6 +161,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             start_us: scenario.start.as_micros(),
             horizon_us: scenario.horizon.as_micros(),
             wall_ms,
+            peak_rss_bytes: cs_telemetry::peak_rss_bytes(),
+            repetitions: 1,
+            host: Some(cs_telemetry::HostFingerprint::detect()),
         };
         output::write_telemetry(dir, tel, &manifest)
             .map_err(|e| format!("write telemetry: {e}"))?;
@@ -202,6 +208,87 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     if violations > 0 {
         return Err(format!("{violations} invariant violations detected"));
+    }
+    Ok(())
+}
+
+/// `coolstream bench` — run the scenario library through the cs-bench
+/// harness and emit `BENCH_<git-describe>.json` (+ `spans.jsonl`),
+/// optionally gating against a committed baseline (see DESIGN.md §12).
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let describe = git_describe();
+    let scenarios_dir = args.get_str("scenarios-dir").unwrap_or("scenarios");
+    let mut opts = cs_bench::BenchOptions::new(scenarios_dir);
+    opts.git_describe = describe.clone();
+    opts.verbose = !args.has("quiet");
+    // --quick: single timing rep — the CI configuration, where the point
+    // is behaviour gating and artifact capture, not stable timing.
+    opts.reps = if args.has("quick") {
+        1
+    } else {
+        args.get("reps", 3).max(1)
+    };
+    opts.record_spans = !args.has("no-spans");
+    if let Some(list) = args.get_str("scenarios") {
+        opts.filter = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    let run = cs_bench::run_bench(&opts)?;
+
+    let out_dir = PathBuf::from(args.get_str("out-dir").unwrap_or("bench-out"));
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    // The describe string becomes a filename component; keep it path-safe.
+    let tag: String = describe
+        .as_deref()
+        .unwrap_or("unknown")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let bench_path = out_dir.join(format!("BENCH_{tag}.json"));
+    std::fs::write(&bench_path, run.report.to_json())
+        .map_err(|e| format!("write {}: {e}", bench_path.display()))?;
+    eprintln!("wrote {}", bench_path.display());
+    if let Some(spans) = &run.spans_jsonl {
+        let spans_path = out_dir.join("spans.jsonl");
+        std::fs::write(&spans_path, spans)
+            .map_err(|e| format!("write {}: {e}", spans_path.display()))?;
+        eprintln!("wrote {}", spans_path.display());
+    }
+    for s in &run.report.scenarios {
+        println!(
+            "{:<20} {:>9} events  {:>12} ev/s  {:>9} peers/s  hash {}",
+            s.name, s.events, s.events_per_sec, s.peers_per_sec, s.trace_hash
+        );
+    }
+
+    if let Some(baseline) = args.get_str("compare") {
+        let warn_pct = args.get("warn-pct", cs_bench::DEFAULT_WARN_PCT);
+        let fail_pct = args.get("fail-pct", cs_bench::DEFAULT_FAIL_PCT);
+        let outcome =
+            cs_bench::compare_to_file(&run.report, Path::new(baseline), warn_pct, fail_pct)?;
+        println!("\ncompare vs {baseline}:");
+        for line in &outcome.lines {
+            println!("  {line}");
+        }
+        for w in &outcome.warnings {
+            eprintln!("warning: {w}");
+        }
+        for f in outcome.hard_failures.iter().chain(&outcome.time_failures) {
+            eprintln!("failure: {f}");
+        }
+        if !outcome.passed() {
+            return Err(format!(
+                "bench gate failed: {} behaviour drift(s), {} time regression(s)",
+                outcome.hard_failures.len(),
+                outcome.time_failures.len()
+            ));
+        }
+        println!("bench gate passed ({} scenarios)", outcome.lines.len());
     }
     Ok(())
 }
@@ -309,11 +396,31 @@ USAGE:
                       [--check-invariants] [--invariant-stride N]
                       [--trace-hash] [--telemetry-dir DIR]
                       [--telemetry-window SECS]
+  coolstream bench    [--quick] [--reps N] [--scenarios a,b,c]
+                      [--scenarios-dir DIR] [--out-dir DIR] [--no-spans]
+                      [--compare BENCH.json] [--warn-pct N] [--fail-pct N]
+                      [--quiet]
   coolstream analyze  --log FILE [--out DIR]
   coolstream config   [--preset ...] [--scenario spec.json] [--example]
   coolstream help
 
 Flags may be spelled `--key value` or `--key=value`.
+
+bench runs the scenario library end-to-end and writes a schema-versioned
+perf report (BENCH_<git-describe>.json: events/sec, peers/sec, min-of-K
+wall time, event totals by kind and manager, dispatch p50/p95/p99) plus
+sim-time causal spans (spans.jsonl) into --out-dir (default bench-out).
+
+  --quick              one timing repetition (the CI configuration)
+  --reps N             timing repetitions per scenario, min-of-K (default 3)
+  --scenarios a,b,c    restrict to the named scenarios
+  --scenarios-dir DIR  scenario library location (default scenarios/)
+  --no-spans           skip recording/writing spans.jsonl
+  --compare FILE       gate against a baseline BENCH json: scenario-set,
+                       trace-hash or event-count drift fails hard;
+                       wall-time slowdown warns past --warn-pct (default
+                       25) and fails past --fail-pct (default 100; 0
+                       disables the time failure, as in CI)
 
   --scenario FILE      load a versioned scenario-DSL file (schema v1:
                        base + overrides + timed chaos `events`; see
@@ -335,6 +442,7 @@ fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
     let result = match args.command.as_deref() {
         Some("run") => cmd_run(&args),
+        Some("bench") => cmd_bench(&args),
         Some("analyze") => cmd_analyze(&args),
         Some("config") => cmd_config(&args),
         Some("help") | None => {

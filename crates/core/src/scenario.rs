@@ -20,7 +20,8 @@ use cs_proto::{
 };
 use cs_sim::{Engine, MultiObserver, RunStats, SimTime, TraceHasher};
 use cs_telemetry::{
-    DispatchProfiler, MetricRegistry, TelemetryConfig, TelemetryObserver, WindowSnapshot,
+    DispatchProfiler, MetricRegistry, SpanRecord, SpanRecorder, TelemetryConfig, TelemetryObserver,
+    WindowSnapshot,
 };
 use cs_workload::Workload;
 use rayon::prelude::*;
@@ -203,6 +204,9 @@ impl Scenario {
         let hasher = options
             .trace_hash
             .then(|| Rc::new(RefCell::new(TraceHasher::<Event, EventKinds>::new())));
+        let spans = options
+            .record_spans
+            .then(|| Rc::new(RefCell::new(SpanRecorder::<Event, EventKinds>::new())));
         // Sampler and engine observer are fused into one TelemetryPair so
         // the per-event path pays a single dyn call per hook. When the
         // pair is the *only* observer it is attached by value (recovered
@@ -232,6 +236,9 @@ impl Scenario {
         }
         if let Some(h) = &hasher {
             observers.push(Box::new(Rc::clone(h)));
+        }
+        if let Some(s) = &spans {
+            observers.push(Box::new(Rc::clone(s)));
         }
         if let Some(pair) = pair {
             if observers.is_empty() {
@@ -318,6 +325,7 @@ impl Scenario {
                 run_stats,
             },
             trace_hash: hasher.map(|h| h.borrow().hash()),
+            spans: spans.map(|s| s.borrow_mut().take_records()),
             invariants: checker.map(|c| match Rc::try_unwrap(c) {
                 Ok(cell) => cell.into_inner(),
                 // The engine was consumed above, so this should be the
@@ -364,6 +372,10 @@ pub struct RunOptions {
     pub invariant_stride: u64,
     /// Attach a [`TraceHasher`] and report the run's trace hash.
     pub trace_hash: bool,
+    /// Attach a [`SpanRecorder`] and report one causal span per
+    /// dispatched event (seq, cause, sim-time, kind, manager, wall-clock
+    /// handler duration). Passive like the other observers.
+    pub record_spans: bool,
     /// Attach the telemetry observers (engine counters plus the
     /// `cs-proto` protocol sampler) and report windowed metric
     /// snapshots. Like the other observers this is passive: artifacts
@@ -378,6 +390,8 @@ pub struct ObservedRun {
     /// FNV-1a digest of the `(time, event kind)` dispatch sequence, if
     /// requested.
     pub trace_hash: Option<u64>,
+    /// One causal span per dispatched event, if requested.
+    pub spans: Option<Vec<SpanRecord>>,
     /// The invariant checker with its verdict, if requested.
     pub invariants: Option<InvariantChecker>,
     /// Windowed metrics and dispatch profile, if requested.

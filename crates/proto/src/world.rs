@@ -37,7 +37,7 @@
 use cs_logging::{LogServer, UserId};
 use cs_net::{Bandwidth, Network, NodeClass, NodeId};
 use cs_sim::rng::{streams, Xoshiro256PlusPlus};
-use cs_sim::{Ctx, KindClassify, SimTime, World};
+use cs_sim::{Ctx, KindClassify, ManagerClassify, SimTime, World};
 use rand::Rng;
 
 use crate::bootstrap::Bootstrap;
@@ -169,6 +169,30 @@ impl Event {
             Event::FreeRiders { .. } => (17, "free_riders"),
         }
     }
+
+    /// The manager whose handler runs this event — the span-tracing axis.
+    /// Mirrors the `World::handle` dispatch table below (`engine` covers
+    /// the world-level housekeeping arms that no manager owns).
+    pub fn manager(&self) -> &'static str {
+        match self {
+            Event::Arrive(_)
+            | Event::BootstrapReply(_)
+            | Event::GossipTick(_)
+            | Event::SetBootstrap(_)
+            | Event::CrashServer(_) => "membership",
+            Event::PartnersReady(_) | Event::PatienceCheck(_) | Event::Depart(_) => "partnership",
+            Event::BmTick(_)
+            | Event::SchedRound(_)
+            | Event::PlaybackTick(_)
+            | Event::ReportTick(_) => "stream",
+            Event::RestartServer(_)
+            | Event::RegionalOutage { .. }
+            | Event::SetPolicy(_)
+            | Event::ScaleUploads { .. }
+            | Event::FreeRiders { .. } => "chaos",
+            Event::Snapshot => "engine",
+        }
+    }
 }
 
 /// The canonical [`KindClassify`] classifier for [`Event`]: every
@@ -180,6 +204,12 @@ pub struct EventKinds;
 impl KindClassify<Event> for EventKinds {
     fn class(event: &Event) -> (u8, &'static str) {
         event.kind_class()
+    }
+}
+
+impl ManagerClassify<Event> for EventKinds {
+    fn manager(event: &Event) -> &'static str {
+        event.manager()
     }
 }
 

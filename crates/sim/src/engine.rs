@@ -5,7 +5,7 @@
 //! world together with a [`Ctx`] through which the handler schedules
 //! follow-up events, reads the clock, or requests a stop.
 
-use crate::observer::Observer;
+use crate::observer::{DispatchMeta, Observer};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -172,13 +172,20 @@ impl<W: World> Engine<W> {
                 }
                 Some(_) => {}
             }
-            let Some((t, event)) = self.queue.pop() else {
+            let Some(popped) = self.queue.pop_entry() else {
                 break StopReason::QueueEmpty;
             };
+            let (t, event) = (popped.time, popped.event);
             self.now = t;
             if let Some(obs) = &mut self.observer {
+                obs.on_dispatch_meta(DispatchMeta {
+                    seq: popped.seq,
+                    cause: popped.cause,
+                });
                 obs.on_dispatch(t, &event, self.queue.len());
             }
+            // Events scheduled by this handler are caused by this event.
+            self.queue.set_cause(Some(popped.seq));
             let mut ctx = Ctx {
                 now: t,
                 queue: &mut self.queue,
@@ -186,6 +193,7 @@ impl<W: World> Engine<W> {
             };
             self.world.handle(&mut ctx, event);
             let stop = ctx.stop;
+            self.queue.set_cause(None);
             if let Some(obs) = &mut self.observer {
                 obs.after_handle(t, &self.world);
             }

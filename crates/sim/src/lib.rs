@@ -46,7 +46,9 @@ mod trace;
 
 pub use det::{DetMap, DetSet};
 pub use engine::{Ctx, Engine, RunStats, StopReason, World};
-pub use observer::{EventStats, KindClassify, MultiObserver, Observer, TraceHasher};
-pub use queue::EventQueue;
+pub use observer::{
+    DispatchMeta, EventStats, KindClassify, ManagerClassify, MultiObserver, Observer, TraceHasher,
+};
+pub use queue::{EventQueue, Popped};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEntry};

@@ -77,12 +77,48 @@ pub trait KindClassify<E> {
     fn class(event: &E) -> (u8, &'static str);
 }
 
+/// Maps events to the *manager* (subsystem) whose handler runs them —
+/// e.g. cs-proto's membership / partnership / stream / chaos split.
+/// Span-tracing instruments group per-event cost by this coarser axis;
+/// like [`KindClassify`] there is one impl per event alphabet so every
+/// span stream agrees on manager names.
+pub trait ManagerClassify<E> {
+    /// Name of the subsystem that handles `event`.
+    fn manager(event: &E) -> &'static str;
+}
+
+/// Scheduling metadata for one dispatched event, delivered through
+/// [`Observer::on_dispatch_meta`] immediately before
+/// [`Observer::on_dispatch`].
+///
+/// `seq` is the event's queue insertion sequence — unique per engine and
+/// monotone in scheduling order, so it doubles as a span id. `cause` is
+/// the seq of the event whose handler scheduled this one (`None` for
+/// events scheduled from outside any handler: initial events, workload
+/// arrivals, chaos injections). Following `cause` links recovers the
+/// causal tree of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchMeta {
+    /// Queue insertion seq of the event being dispatched.
+    pub seq: u64,
+    /// Insertion seq of the scheduling event, if any.
+    pub cause: Option<u64>,
+}
+
 /// A passive watcher of the engine's dispatch loop.
 ///
 /// Both hooks default to no-ops so an observer implements only what it
 /// needs. Observers must not assume they see *all* events of a run: one
 /// can be attached or detached between `run_until` segments.
 pub trait Observer<W: World> {
+    /// Called for every event immediately before [`Observer::on_dispatch`]
+    /// with the event's scheduling metadata (queue seq and causal
+    /// parent). Separate from `on_dispatch` so existing observers that
+    /// ignore causality pay nothing and change nothing.
+    fn on_dispatch_meta(&mut self, meta: DispatchMeta) {
+        let _ = meta;
+    }
+
     /// Called for every event immediately before the world handles it.
     ///
     /// `queue_depth` is the number of events still pending *after* this
@@ -112,6 +148,9 @@ pub trait Observer<W: World> {
 /// Forward hooks through a shared handle, so callers can keep reading
 /// an observer they have attached to an engine (see module docs).
 impl<W: World, T: Observer<W>> Observer<W> for Rc<RefCell<T>> {
+    fn on_dispatch_meta(&mut self, meta: DispatchMeta) {
+        self.borrow_mut().on_dispatch_meta(meta);
+    }
     fn on_dispatch(&mut self, now: SimTime, event: &W::Event, queue_depth: usize) {
         self.borrow_mut().on_dispatch(now, event, queue_depth);
     }
@@ -291,6 +330,11 @@ impl<W: World> Default for MultiObserver<W> {
 }
 
 impl<W: World> Observer<W> for MultiObserver<W> {
+    fn on_dispatch_meta(&mut self, meta: DispatchMeta) {
+        for obs in &mut self.inner {
+            obs.on_dispatch_meta(meta);
+        }
+    }
     fn on_dispatch(&mut self, now: SimTime, event: &W::Event, queue_depth: usize) {
         for obs in &mut self.inner {
             obs.on_dispatch(now, event, queue_depth);
@@ -415,6 +459,42 @@ mod tests {
         eng.run_until(SimTime::MAX);
         assert_eq!(stats.borrow().events(), before);
         assert!(stats.borrow().render().contains("queue high-water"));
+    }
+
+    #[test]
+    fn dispatch_meta_links_causes() {
+        // Record (seq, cause) for every dispatch and check the causal
+        // tree: the root has no cause, every other event is caused by a
+        // previously dispatched seq.
+        #[derive(Default)]
+        struct MetaLog {
+            metas: Vec<DispatchMeta>,
+        }
+        impl Observer<Fanout> for MetaLog {
+            fn on_dispatch_meta(&mut self, meta: DispatchMeta) {
+                self.metas.push(meta);
+            }
+        }
+        let log = Rc::new(RefCell::new(MetaLog::default()));
+        let mut eng = Engine::new(Fanout { handled: 0 });
+        eng.set_observer(Box::new(Rc::clone(&log)));
+        eng.schedule_at(SimTime::ZERO, Ev::Spawn(2));
+        eng.run_until(SimTime::MAX);
+        let metas = log.borrow().metas.clone();
+        // Spawn(2..=0) → 3 spawns + 6 leaves.
+        assert_eq!(metas.len(), 9);
+        assert_eq!(metas[0].cause, None, "external schedule has no cause");
+        let mut seen = vec![metas[0].seq];
+        for m in &metas[1..] {
+            let c = m.cause.expect("handler-scheduled events carry a cause");
+            assert!(seen.contains(&c), "cause {c} must already be dispatched");
+            seen.push(m.seq);
+        }
+        // Each Spawn causes 2 leaves (+1 follow-up spawn while gen > 0):
+        // the root seq must appear as a cause exactly 3 times.
+        let root = metas[0].seq;
+        let root_children = metas.iter().filter(|m| m.cause == Some(root)).count();
+        assert_eq!(root_children, 3);
     }
 
     #[test]

@@ -15,6 +15,11 @@ use crate::time::SimTime;
 struct Entry<E> {
     time: SimTime,
     seq: u64,
+    /// Insertion seq of the event whose handler scheduled this one
+    /// (`None` for externally scheduled events). Pure metadata: never
+    /// consulted by the ordering, only surfaced to observers for causal
+    /// span tracing.
+    cause: Option<u64>,
     event: E,
 }
 
@@ -47,6 +52,23 @@ pub struct EventQueue<E> {
     next_seq: u64,
     pushed: u64,
     popped: u64,
+    /// Cause stamped on every push: the engine sets this to the popped
+    /// event's seq for the duration of its handler, so follow-up events
+    /// carry a causal parent without the handlers knowing.
+    current_cause: Option<u64>,
+}
+
+/// A popped queue entry with its scheduling metadata.
+pub struct Popped<E> {
+    /// The event's timestamp.
+    pub time: SimTime,
+    /// The event's insertion sequence number (unique per queue).
+    pub seq: u64,
+    /// Insertion seq of the event whose handler scheduled this one
+    /// (`None` when scheduled from outside any handler).
+    pub cause: Option<u64>,
+    /// The event itself.
+    pub event: E,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -63,6 +85,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            current_cause: None,
         }
     }
 
@@ -73,7 +96,14 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            current_cause: None,
         }
+    }
+
+    /// Set the cause stamped on subsequent pushes (the engine brackets
+    /// each handler invocation with the dispatched event's seq).
+    pub fn set_cause(&mut self, cause: Option<u64>) {
+        self.current_cause = cause;
     }
 
     /// Schedule `event` at absolute time `time`.
@@ -81,14 +111,30 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            seq,
+            cause: self.current_cause,
+            event,
+        });
     }
 
     /// Remove and return the earliest event (FIFO among equal timestamps).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.pop_entry()?;
+        Some((e.time, e.event))
+    }
+
+    /// [`EventQueue::pop`] carrying the entry's seq and cause metadata.
+    pub fn pop_entry(&mut self) -> Option<Popped<E>> {
         let e = self.heap.pop()?;
         self.popped += 1;
-        Some((e.time, e.event))
+        Some(Popped {
+            time: e.time,
+            seq: e.seq,
+            cause: e.cause,
+            event: e.event,
+        })
     }
 
     /// Timestamp of the next event without removing it.
@@ -164,6 +210,22 @@ mod tests {
         assert_eq!(q.total_popped(), 1);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn cause_is_stamped_while_set() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, "external");
+        q.set_cause(Some(0));
+        q.push(SimTime::from_secs(1), "caused");
+        q.set_cause(None);
+        q.push(SimTime::from_secs(2), "external2");
+        let a = q.pop_entry().unwrap();
+        assert_eq!((a.seq, a.cause), (0, None));
+        let b = q.pop_entry().unwrap();
+        assert_eq!((b.seq, b.cause), (1, Some(0)));
+        let c = q.pop_entry().unwrap();
+        assert_eq!((c.seq, c.cause), (2, None));
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   wall-clock timing of each event kind. Its measurements never enter the
 //!   registry or the windowed stream; they are emitted only to
 //!   `profile.json` (see [`DispatchProfiler::to_json`]).
+//! * [`SpanRecorder`] — deterministic sim-time span tracing: one causal
+//!   span per dispatched event (seq, causing seq, sim-time, kind, owning
+//!   manager), with wall-clock handler duration as the only
+//!   environment-dependent field, rendered to `spans.jsonl`.
 //! * [`RunManifest`] — the `manifest.json` schema tying a run's seed,
 //!   scenario, git revision, trace hash, and event totals together so any
 //!   run is reconstructable and comparable.
@@ -37,16 +41,18 @@ pub mod manifest;
 pub mod observer;
 pub mod profile;
 pub mod registry;
+pub mod span;
 pub mod window;
 
-pub use manifest::RunManifest;
+pub use manifest::{peak_rss_bytes, HostFingerprint, RunManifest};
 pub use observer::{TelemetryObserver, PROFILE_SAMPLE_EVERY};
-// Re-exported so telemetry users name the classifier trait without a
-// direct cs-sim dependency; the definition lives in cs-sim, next to the
-// other observers that consume it.
-pub use cs_sim::KindClassify;
+// Re-exported so telemetry users name the classifier traits without a
+// direct cs-sim dependency; the definitions live in cs-sim, next to the
+// other observers that consume them.
+pub use cs_sim::{KindClassify, ManagerClassify};
 pub use profile::{DispatchProfiler, KindTiming};
 pub use registry::{Histogram, Metric, MetricId, MetricKey, MetricRegistry};
+pub use span::{spans_to_jsonl, SpanRecord, SpanRecorder, SPANS_SCHEMA};
 pub use window::{SnapValue, WindowSnapshot, WindowedAggregator};
 
 use cs_sim::SimTime;

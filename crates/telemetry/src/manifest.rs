@@ -9,9 +9,45 @@
 
 use crate::json::{push_key, push_str_lit};
 
+/// Fingerprint of the machine a run executed on, for interpreting
+/// wall-clock numbers (`wall_ms`, `profile.json`, `BENCH_*.json`) across
+/// hosts. Purely descriptive — it never influences the simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// Logical CPU count (`std::thread::available_parallelism`), 0 if unknown.
+    pub cores: u64,
+    /// Target architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Target OS (`std::env::consts::OS`).
+    pub os: String,
+}
+
+impl HostFingerprint {
+    /// The current host.
+    pub fn detect() -> Self {
+        HostFingerprint {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(0),
+            arch: std::env::consts::ARCH.to_string(),
+            os: std::env::consts::OS.to_string(),
+        }
+    }
+}
+
+/// Peak resident set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or if the read fails.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// The `manifest.json` contents. All fields are plain data; rendering is
-/// deterministic except for `wall_ms` and `git_describe`, which describe
-/// the environment rather than the run's behaviour.
+/// deterministic except for `wall_ms`, `peak_rss_bytes`, `host`, and
+/// `git_describe`, which describe the environment rather than the run's
+/// behaviour.
 #[derive(Clone, Debug, Default)]
 pub struct RunManifest {
     /// Master seed.
@@ -36,12 +72,21 @@ pub struct RunManifest {
     pub horizon_us: u64,
     /// Wall-clock run duration in milliseconds (environment-dependent).
     pub wall_ms: u64,
+    /// Peak resident set size in bytes ([`peak_rss_bytes`]), if known.
+    pub peak_rss_bytes: Option<u64>,
+    /// Repetitions this manifest summarises (1 for a plain run; the
+    /// bench harness sets its min-of-K repetition count).
+    pub repetitions: u64,
+    /// The executing host, if captured.
+    pub host: Option<HostFingerprint>,
 }
 
 impl RunManifest {
-    /// Render as pretty-printed JSON.
+    /// Render as pretty-printed JSON. Schema `/2` added `peak_rss_bytes`,
+    /// `repetitions`, and `host`; `/1` consumers reading only the older
+    /// keys still parse.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"cs-telemetry-manifest/1\",\n");
+        let mut out = String::from("{\n  \"schema\": \"cs-telemetry-manifest/2\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str("  \"scenario\": ");
         match &self.scenario_json {
@@ -75,9 +120,31 @@ impl RunManifest {
         out.push_str("},\n");
         out.push_str(&format!(
             "  \"windows\": {},\n  \"window_us\": {},\n  \"start_us\": {},\n  \
-             \"horizon_us\": {},\n  \"wall_ms\": {}\n}}\n",
+             \"horizon_us\": {},\n  \"wall_ms\": {},\n",
             self.windows, self.window_us, self.start_us, self.horizon_us, self.wall_ms
         ));
+        out.push_str("  \"peak_rss_bytes\": ");
+        match self.peak_rss_bytes {
+            Some(b) => out.push_str(&b.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(",\n  \"repetitions\": {},\n", self.repetitions));
+        out.push_str("  \"host\": ");
+        match &self.host {
+            Some(h) => {
+                out.push_str(&format!("{{\"cores\": {}, ", h.cores));
+                push_key(&mut out, "arch");
+                out.push(' ');
+                push_str_lit(&mut out, &h.arch);
+                out.push_str(", ");
+                push_key(&mut out, "os");
+                out.push(' ');
+                push_str_lit(&mut out, &h.os);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -91,6 +158,8 @@ mod tests {
         let empty = RunManifest::default().to_json();
         assert!(empty.contains("\"scenario\": null"));
         assert!(empty.contains("\"trace_hash\": null"));
+        assert!(empty.contains("\"peak_rss_bytes\": null"));
+        assert!(empty.contains("\"host\": null"));
 
         let m = RunManifest {
             seed: 7,
@@ -104,12 +173,32 @@ mod tests {
             start_us: 0,
             horizon_us: 360_000_000,
             wall_ms: 42,
+            peak_rss_bytes: Some(12_345_678),
+            repetitions: 5,
+            host: Some(HostFingerprint {
+                cores: 8,
+                arch: "x86_64".into(),
+                os: "linux".into(),
+            }),
         };
         let j = m.to_json();
-        assert!(j.contains("\"schema\": \"cs-telemetry-manifest/1\""));
+        assert!(j.contains("\"schema\": \"cs-telemetry-manifest/2\""));
         assert!(j.contains("\"scenario\": {\"rate\":0.4}"));
         assert!(j.contains("\"trace_hash\": \"fd00912eb62e19b3\""));
         assert!(j.contains("\"arrive\": 5"));
+        assert!(j.contains("\"peak_rss_bytes\": 12345678"));
+        assert!(j.contains("\"repetitions\": 5"));
+        assert!(j.contains("\"host\": {\"cores\": 8, \"arch\": \"x86_64\", \"os\": \"linux\"}"));
         assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn host_fingerprint_detects_something() {
+        let h = HostFingerprint::detect();
+        assert!(!h.arch.is_empty());
+        assert!(!h.os.is_empty());
+        // cores may legitimately be 0 only if detection failed; on any
+        // test host it should be at least 1.
+        assert!(h.cores >= 1);
     }
 }

@@ -31,6 +31,37 @@ pub struct KindTiming {
     pub max_ns: u64,
     /// Log-bucket distribution of handler nanoseconds.
     pub hist: Histogram,
+    /// Raw sampled durations, for exact percentiles. Bounded in practice:
+    /// the observer samples 1 dispatch in
+    /// [`PROFILE_SAMPLE_EVERY`](crate::PROFILE_SAMPLE_EVERY).
+    samples: Vec<u64>,
+}
+
+impl KindTiming {
+    /// Exact nearest-rank percentile over the sampled durations
+    /// (`p` in 0..=100). Returns 0 when nothing was sampled.
+    pub fn percentile_ns(&self, p: u8) -> u64 {
+        percentile(&self.samples, p)
+    }
+
+    /// Number of raw samples held (equals `count`).
+    pub fn samples(&self) -> u64 {
+        self.samples.len() as u64
+    }
+}
+
+/// Nearest-rank percentile: the smallest value with at least `p`% of the
+/// samples at or below it (`ceil(p/100 * n)`-th smallest). Exact — no
+/// interpolation — so results are integers from the sample set itself.
+fn percentile(samples: &[u64], p: u8) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let rank = (u64::from(p) * n).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
 }
 
 /// Times each event kind's handler with the wall clock (see module docs).
@@ -74,6 +105,7 @@ impl DispatchProfiler {
         t.count += 1;
         t.total_ns = t.total_ns.saturating_add(ns);
         t.hist.observe(ns);
+        t.samples.push(ns);
         self.events += 1;
         self.total_ns = self.total_ns.saturating_add(ns);
     }
@@ -94,11 +126,13 @@ impl DispatchProfiler {
     }
 
     /// Render `profile.json`: per-event-kind wall-clock totals, means,
-    /// extremes, log-bucket distributions, and each kind's share of the
-    /// total in tenths of a percent (integer, to keep the file free of
-    /// platform-dependent float formatting).
+    /// extremes, nearest-rank p50/p95/p99 over the raw samples, log-bucket
+    /// distributions, and each kind's share of the total in tenths of a
+    /// percent (integer, to keep the file free of platform-dependent float
+    /// formatting). Schema `/2` added the percentile and sample-count
+    /// fields; `/1` consumers that only read the older keys still parse.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"schema\":\"cs-telemetry-profile/1\"");
+        let mut out = String::from("{\"schema\":\"cs-telemetry-profile/2\"");
         out.push_str(&format!(
             ",\"events\":{},\"total_ns\":{}",
             self.events, self.total_ns
@@ -116,9 +150,19 @@ impl DispatchProfiler {
                 .checked_div(self.total_ns)
                 .unwrap_or(0);
             out.push_str(&format!(
-                "{{\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+                "{{\"count\":{},\"samples\":{},\"total_ns\":{},\"mean_ns\":{},\"min_ns\":{},\
+                 \"max_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
                  \"share_permille\":{},\"buckets_ns\":{{",
-                t.count, t.total_ns, mean, t.min_ns, t.max_ns, share_permille
+                t.count,
+                t.samples(),
+                t.total_ns,
+                mean,
+                t.min_ns,
+                t.max_ns,
+                t.percentile_ns(50),
+                t.percentile_ns(95),
+                t.percentile_ns(99),
+                share_permille
             ));
             for (j, (le, n)) in t.hist.buckets().enumerate() {
                 if j > 0 {
@@ -162,9 +206,47 @@ mod tests {
         p.begin("tick");
         p.end();
         let j = p.to_json();
-        assert!(j.starts_with("{\"schema\":\"cs-telemetry-profile/1\""));
-        assert!(j.contains("\"kinds\":{\"tick\":{\"count\":1,"));
+        assert!(j.starts_with("{\"schema\":\"cs-telemetry-profile/2\""));
+        assert!(j.contains("\"kinds\":{\"tick\":{\"count\":1,\"samples\":1,"));
+        assert!(j.contains("\"p50_ns\":"));
+        assert!(j.contains("\"p95_ns\":"));
+        assert!(j.contains("\"p99_ns\":"));
         assert!(j.contains("\"share_permille\":"));
         assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        // 1..=100: pN is exactly N under nearest-rank.
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 95), 95);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&v, 0), 1); // rank clamps to the smallest sample
+
+        // Small sets: ceil semantics, order-independent.
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[30, 10, 20], 50), 20); // ceil(0.5*3)=2nd smallest
+        assert_eq!(percentile(&[30, 10, 20], 99), 30);
+        assert_eq!(percentile(&[5, 5, 5, 5], 95), 5);
+
+        // Empty set renders as 0 rather than panicking.
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn kind_timing_percentiles_follow_samples() {
+        let mut p = DispatchProfiler::new();
+        for _ in 0..10 {
+            p.begin("tick");
+            p.end();
+        }
+        let (_, t) = p.kinds().next().unwrap();
+        assert_eq!(t.samples(), 10);
+        assert!(t.percentile_ns(50) <= t.percentile_ns(95));
+        assert!(t.percentile_ns(95) <= t.percentile_ns(99));
+        assert!(t.min_ns <= t.percentile_ns(50) && t.percentile_ns(99) <= t.max_ns);
     }
 }

@@ -1,0 +1,290 @@
+//! Sim-time span tracing: a causal, flamegraph-convertible record of
+//! where simulated and wall time go.
+//!
+//! [`SpanRecorder`] is a passive [`cs_sim::Observer`] that records one
+//! [`SpanRecord`] per dispatched event: the event's sim-time, kind,
+//! owning manager (membership / partnership / stream / chaos — via the
+//! alphabet's [`ManagerClassify`] impl), queue depth, and — through the
+//! engine's [`DispatchMeta`] hook — its queue seq and *causal parent*,
+//! the seq of the event whose handler scheduled it. Following `cause`
+//! links reconstructs the causal tree of a run (arrival → bootstrap
+//! reply → partner round → stream ticks …), which converts directly to
+//! a flamegraph: the parent chain is the stack.
+//!
+//! Every field except `wall_ns` is a pure function of
+//! `(configuration, seed)`: two runs of the same scenario produce
+//! byte-identical span streams after stripping `wall_ns`. The wall-clock
+//! handler duration is the same deliberate, quarantined nondeterminism
+//! as [`DispatchProfiler`](crate::DispatchProfiler): it is emitted only
+//! to `spans.jsonl`, never into the metric registry or simulation state,
+//! and the recorder is passive, so golden trace hashes are identical
+//! with or without span recording attached.
+
+use std::marker::PhantomData;
+use std::time::Instant;
+
+use cs_sim::{DispatchMeta, KindClassify, ManagerClassify, Observer, SimTime, World};
+
+use crate::json::{push_key, push_str_lit};
+
+/// Schema identifier carried by the `spans.jsonl` header line.
+pub const SPANS_SCHEMA: &str = "cs-spans/1";
+
+/// One dispatched event's span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Queue insertion seq — unique per run, doubles as the span id.
+    pub seq: u64,
+    /// Seq of the causing event's span (`None` for externally scheduled
+    /// events: initial events, workload arrivals, chaos injections).
+    pub cause: Option<u64>,
+    /// Sim-time of the dispatch, in microseconds.
+    pub sim_us: u64,
+    /// Event kind name (from the alphabet's [`KindClassify`] impl).
+    pub kind: &'static str,
+    /// Owning manager (from the alphabet's [`ManagerClassify`] impl).
+    pub manager: &'static str,
+    /// Queue depth at dispatch, including the in-flight event.
+    pub queue_depth: u64,
+    /// Wall-clock handler duration in nanoseconds. The one
+    /// environment-dependent field; strip it when diffing span streams.
+    pub wall_ns: u64,
+}
+
+impl SpanRecord {
+    /// Render one JSONL line (no trailing newline). `scenario`, when
+    /// given, is embedded so multi-scenario span files stay joinable.
+    pub fn to_json(&self, scenario: Option<&str>) -> String {
+        let mut out = String::from("{");
+        if let Some(s) = scenario {
+            push_key(&mut out, "scenario");
+            push_str_lit(&mut out, s);
+            out.push(',');
+        }
+        out.push_str(&format!("\"seq\":{},\"cause\":", self.seq));
+        match self.cause {
+            Some(c) => out.push_str(&c.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(",\"sim_us\":{}", self.sim_us));
+        out.push(',');
+        push_key(&mut out, "kind");
+        push_str_lit(&mut out, self.kind);
+        out.push(',');
+        push_key(&mut out, "manager");
+        push_str_lit(&mut out, self.manager);
+        out.push_str(&format!(
+            ",\"queue_depth\":{},\"wall_ns\":{}}}",
+            self.queue_depth, self.wall_ns
+        ));
+        out
+    }
+}
+
+/// Render a full `spans.jsonl` document: a schema header line followed
+/// by one line per span.
+pub fn spans_to_jsonl(scenario: Option<&str>, spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{");
+    push_key(&mut out, "schema");
+    push_str_lit(&mut out, SPANS_SCHEMA);
+    out.push_str(&format!(",\"spans\":{}", spans.len()));
+    if let Some(s) = scenario {
+        out.push(',');
+        push_key(&mut out, "scenario");
+        push_str_lit(&mut out, s);
+    }
+    out.push_str("}\n");
+    for s in spans {
+        out.push_str(&s.to_json(scenario));
+        out.push('\n');
+    }
+    out
+}
+
+/// Records manager-level spans for every dispatched event (see module
+/// docs). `C` is the event alphabet's classifier — the same single impl
+/// [`TelemetryObserver`](crate::TelemetryObserver) and the trace hasher
+/// use — extended with [`ManagerClassify`], so span kind and manager
+/// names cannot drift from counters or golden hashes.
+pub struct SpanRecorder<E, C: KindClassify<E> + ManagerClassify<E>> {
+    classify: PhantomData<fn(&E) -> C>,
+    meta: Option<DispatchMeta>,
+    in_flight: Option<(SpanRecord, Instant)>,
+    records: Vec<SpanRecord>,
+}
+
+impl<E, C: KindClassify<E> + ManagerClassify<E>> SpanRecorder<E, C> {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        SpanRecorder {
+            classify: PhantomData,
+            meta: None,
+            in_flight: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Spans recorded so far, in dispatch order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// Move the recorded spans out, leaving the recorder empty.
+    pub fn take_records(&mut self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+impl<E, C: KindClassify<E> + ManagerClassify<E>> Default for SpanRecorder<E, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: World, C: KindClassify<W::Event> + ManagerClassify<W::Event>> Observer<W>
+    for SpanRecorder<W::Event, C>
+{
+    fn on_dispatch_meta(&mut self, meta: DispatchMeta) {
+        self.meta = Some(meta);
+    }
+
+    fn on_dispatch(&mut self, now: SimTime, event: &W::Event, queue_depth: usize) {
+        // Engines always deliver meta first; degrade to an uncaused span
+        // if a custom driver skipped the hook.
+        let meta = self.meta.take().unwrap_or(DispatchMeta {
+            seq: self.records.len() as u64,
+            cause: None,
+        });
+        let record = SpanRecord {
+            seq: meta.seq,
+            cause: meta.cause,
+            sim_us: now.as_micros(),
+            kind: C::class(event).1,
+            manager: C::manager(event),
+            queue_depth: queue_depth.saturating_add(1) as u64,
+            wall_ns: 0,
+        };
+        // cs-lint: allow(ambient-entropy) — wall-clock handler duration is this module's purpose; it goes only to spans.jsonl, never into sim state (see module docs)
+        self.in_flight = Some((record, Instant::now()));
+    }
+
+    fn after_handle(&mut self, _now: SimTime, _world: &W) {
+        let Some((mut record, t0)) = self.in_flight.take() else {
+            return;
+        };
+        record.wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.records.push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_sim::{Ctx, Engine};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Root spawns `n` children; children are leaves.
+    struct Tree;
+
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Root(u32),
+        Child,
+    }
+
+    struct EvKinds;
+    impl KindClassify<Ev> for EvKinds {
+        fn class(e: &Ev) -> (u8, &'static str) {
+            match e {
+                Ev::Root(_) => (0, "root"),
+                Ev::Child => (1, "child"),
+            }
+        }
+    }
+    impl ManagerClassify<Ev> for EvKinds {
+        fn manager(e: &Ev) -> &'static str {
+            match e {
+                Ev::Root(_) => "membership",
+                Ev::Child => "stream",
+            }
+        }
+    }
+
+    impl World for Tree {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, event: Ev) {
+            if let Ev::Root(n) = event {
+                for _ in 0..n {
+                    ctx.schedule_in(SimTime::from_secs(1), Ev::Child);
+                }
+            }
+        }
+    }
+
+    fn record_tree(n: u32) -> Vec<SpanRecord> {
+        let rec = Rc::new(RefCell::new(SpanRecorder::<Ev, EvKinds>::new()));
+        let mut eng = Engine::new(Tree);
+        eng.set_observer(Box::new(Rc::clone(&rec)));
+        eng.schedule_at(SimTime::ZERO, Ev::Root(n));
+        eng.run_until(SimTime::MAX);
+        let spans = rec.borrow().records().to_vec();
+        spans
+    }
+
+    #[test]
+    fn spans_carry_cause_kind_and_manager() {
+        let spans = record_tree(3);
+        assert_eq!(spans.len(), 4);
+        let root = &spans[0];
+        assert_eq!(
+            (root.kind, root.manager, root.cause),
+            ("root", "membership", None)
+        );
+        for child in &spans[1..] {
+            assert_eq!(child.kind, "child");
+            assert_eq!(child.manager, "stream");
+            assert_eq!(
+                child.cause,
+                Some(root.seq),
+                "children are caused by the root"
+            );
+            assert_eq!(child.sim_us, SimTime::from_secs(1).as_micros());
+        }
+        // Seqs are unique.
+        let mut seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), spans.len());
+    }
+
+    #[test]
+    fn span_stream_is_deterministic_modulo_wall_ns() {
+        let strip = |spans: Vec<SpanRecord>| {
+            spans
+                .into_iter()
+                .map(|mut s| {
+                    s.wall_ns = 0;
+                    s.to_json(Some("t"))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(record_tree(5)), strip(record_tree(5)));
+    }
+
+    #[test]
+    fn jsonl_shape_is_stable() {
+        let spans = record_tree(1);
+        let doc = spans_to_jsonl(Some("mini"), &spans);
+        let mut lines = doc.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"schema\":\"cs-spans/1\""), "{header}");
+        assert!(header.contains("\"spans\":2"), "{header}");
+        let first = lines.next().unwrap();
+        assert!(first.contains("\"scenario\":\"mini\""), "{first}");
+        assert!(first.contains("\"cause\":null"), "{first}");
+        assert!(first.contains("\"manager\":\"membership\""), "{first}");
+        let second = lines.next().unwrap();
+        assert!(second.contains("\"cause\":0"), "{second}");
+        assert_eq!(lines.next(), None);
+    }
+}

@@ -304,6 +304,20 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 
+// Map keys come back as the JSON key strings; only string-keyed maps
+// round-trip (matching how this workspace uses maps).
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            _ => Err(Error("expected map".into())),
+        }
+    }
+}
+
 impl<K: Serialize + std::hash::Hash + Ord, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
         let mut entries: Vec<_> = self.iter().collect();

@@ -19,6 +19,7 @@ const HASH_ONLY: RunOptions = RunOptions {
     check_invariants: false,
     invariant_stride: 0,
     trace_hash: true,
+    record_spans: false,
     telemetry: None,
 };
 
@@ -59,6 +60,7 @@ fn observed_run_is_bit_identical_to_plain_run() {
         check_invariants: true,
         invariant_stride: 1,
         trace_hash: true,
+        record_spans: false,
         telemetry: None,
     });
     let plain = small_steady().run();

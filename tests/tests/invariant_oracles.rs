@@ -34,6 +34,7 @@ const FULL_CHECK: RunOptions = RunOptions {
     check_invariants: true,
     invariant_stride: 1,
     trace_hash: true,
+    record_spans: false,
     telemetry: None,
 };
 
@@ -137,6 +138,7 @@ fn harness_detects_planted_corruption() {
             check_invariants: true,
             invariant_stride: 1,
             trace_hash: false,
+            record_spans: false,
             telemetry: None,
         });
     let mut chk = run.invariants.expect("checker requested");

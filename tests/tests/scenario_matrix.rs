@@ -21,6 +21,7 @@ const FULL_CHECK: RunOptions = RunOptions {
     check_invariants: true,
     invariant_stride: 1,
     trace_hash: true,
+    record_spans: false,
     telemetry: None,
 };
 
@@ -205,6 +206,7 @@ fn scenario_files_are_deterministic_in_seed() {
             check_invariants: false,
             invariant_stride: 1,
             trace_hash: true,
+            record_spans: false,
             telemetry: None,
         };
         compiled

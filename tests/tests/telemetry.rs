@@ -24,6 +24,7 @@ fn with_telemetry(window_secs: u64, profile: bool) -> RunOptions {
         check_invariants: false,
         invariant_stride: 0,
         trace_hash: true,
+        record_spans: false,
         telemetry: Some(TelemetryConfig {
             window: SimTime::from_secs(window_secs),
             profile,
@@ -35,6 +36,7 @@ const HASH_ONLY: RunOptions = RunOptions {
     check_invariants: false,
     invariant_stride: 0,
     trace_hash: true,
+    record_spans: false,
     telemetry: None,
 };
 
@@ -150,7 +152,7 @@ fn jsonl_and_profile_render_valid_shapes() {
     let profile = tel.profile.expect("profiling enabled");
     assert!(profile.events() > 0, "profiler sampled nothing");
     let json = profile.to_json();
-    assert!(json.starts_with("{\"schema\":\"cs-telemetry-profile/1\""));
+    assert!(json.starts_with("{\"schema\":\"cs-telemetry-profile/2\""));
     assert!(json.contains("\"kinds\":{"));
 }
 
