@@ -191,8 +191,12 @@ impl Scenario {
         let mut world = CsWorld::new(self.params, net, self.servers, self.server_bw, self.seed);
         world.snapshot_interval = self.snapshot_interval;
         let n_arrivals = arrivals.len();
-
-        let mut engine = Engine::new(world);
+        // Pre-size the arena and queue from the spec: every arrival may
+        // become a live peer, and the queue holds the not-yet-dispatched
+        // arrivals/injections up front plus a handful of periodic timers
+        // per live peer at steady state.
+        world.reserve_peers(n_arrivals + self.servers);
+        let mut engine = Engine::with_queue_capacity(world, n_arrivals + injections.len() + 16);
         // Guard against protocol bugs that self-schedule forever.
         engine.event_budget = 4_000_000_000;
 

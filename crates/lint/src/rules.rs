@@ -172,6 +172,19 @@ the feature cannot shift any other stream). Raw ::new/seed_from_u64/split_seed c
 ad-hoc stream ids silently re-seed or collide streams, which desynchronizes golden \
 traces in ways that only surface at scale.",
     },
+    A1 {
+        id: "A1",
+        slug: "arena-access",
+        escapable: true,
+        scope: "deterministic crates, outside crates/proto/src/{world,arena}.rs",
+        summary: "Raw indexing into the peer arena outside its accessors.",
+        explain: "Per-peer state lives in a generational slab (crates/proto/src/arena.rs) \
+behind CsWorld's accessor API (peer/peer_mut/two_mut/peers/…). Raw `peers[i]` or \
+`arena.get(i)` access from manager code bypasses the generation check that catches \
+stale handles after slot reuse, and couples callers to the slab layout the sharding \
+work (ROADMAP item 1) will change. Route access through the world.rs accessors, or \
+escape with the invariant that makes the raw access safe.",
+    },
     X1 {
         id: "X1",
         slug: "dispatch-exhaustive",
@@ -255,6 +268,9 @@ pub struct Config {
     /// RNGs directly, and whose `streams` module declares the stream-id
     /// constants R1 resolves against.
     pub stream_module: String,
+    /// The peer-arena accessor seam: the only files allowed to index the
+    /// arena's columns directly (A1).
+    pub arena_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -273,6 +289,9 @@ impl Default for Config {
             entropy_files: vec!["crates/sim/src/rng.rs".to_string()],
             max_file_lines: 800,
             stream_module: "crates/sim/src/rng.rs".to_string(),
+            arena_files: ["crates/proto/src/world.rs", "crates/proto/src/arena.rs"]
+                .map(String::from)
+                .to_vec(),
         }
     }
 }
@@ -322,6 +341,7 @@ pub fn lint_tokens(ctx: &FileCtx<'_>, lexed: &Lexed, mask: &[bool], cfg: &Config
     let cast = cfg.cast_crates.iter().any(|c| c == ctx.crate_name);
     let panic_ok = cfg.panic_exempt_crates.iter().any(|c| c == ctx.crate_name);
     let entropy_ok = cfg.entropy_files.iter().any(|f| f == ctx.rel_path);
+    let arena_ok = cfg.arena_files.iter().any(|f| f == ctx.rel_path);
 
     for i in 0..toks.len() {
         if mask.get(i).copied().unwrap_or(false) {
@@ -424,6 +444,32 @@ pub fn lint_tokens(ctx: &FileCtx<'_>, lexed: &Lexed, mask: &[bool], cfg: &Config
                         ),
                     );
                 }
+            }
+        }
+
+        // A1 — raw peer-arena access outside the accessor seam. Flags
+        // `peers[…]` / `arena[…]` subscripts and `.get(…)`/`.get_mut(…)`
+        // calls on receivers named `peers`/`arena`; method calls like
+        // `world.peers()` (next token `(`) are the sanctioned API and
+        // don't match.
+        if det && !arena_ok && t.kind == TokKind::Ident && (t.text == "peers" || t.text == "arena")
+        {
+            let indexed = matches!(toks.get(i + 1), Some(n) if n.is_punct("["));
+            let raw_get = matches!(toks.get(i + 1), Some(n) if n.is_punct("."))
+                && matches!(toks.get(i + 2), Some(n) if n.is_ident("get") || n.is_ident("get_mut"))
+                && matches!(toks.get(i + 3), Some(n) if n.is_punct("("));
+            if indexed || raw_get {
+                push(
+                    &mut raw,
+                    t.line,
+                    RuleId::A1,
+                    format!(
+                        "raw `{}` access bypasses the generational accessor seam; go through \
+                         the CsWorld peer accessors (world.rs) or escape with \
+                         `// cs-lint: allow(arena-access) — <invariant>`",
+                        t.text
+                    ),
+                );
             }
         }
 

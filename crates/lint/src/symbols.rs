@@ -309,8 +309,11 @@ fn match_arms_of(f: &FileIndex, item: &Item, enum_name: &str) -> (Vec<KindArm>, 
 }
 
 /// Recognize an event alphabet in `f`: an enum named `Event` (non-test)
-/// plus, in the same file, a `kind_class` fn and a `handle` fn inside an
-/// `impl World for …` block.
+/// plus, in the same file, a `kind_class` fn and a dispatch fn — either
+/// `handle` in an `impl World for …` block, or a `route` fn when the
+/// world splits target resolution (`handle`) from manager dispatch.
+/// When both exist, the one whose body actually matches on `Event`
+/// variants is the dispatch anchor.
 fn extract_alphabet(f: &FileIndex) -> Option<EventAlphabet> {
     let items = parse::all_items(&f.items);
     let en = items.iter().find(|i| {
@@ -319,17 +322,21 @@ fn extract_alphabet(f: &FileIndex) -> Option<EventAlphabet> {
     let kind_fn = items
         .iter()
         .find(|i| i.kind == ItemKind::Fn && i.name == "kind_class" && !f.item_masked(i));
-    let handle_fn = items
-        .iter()
-        .find(|i| i.kind == ItemKind::Fn && i.name == "handle" && !f.item_masked(i));
     // Only anchor when a kind table exists: a plain `enum Event` in some
     // unrelated crate is not an alphabet.
     let kind_fn = kind_fn?;
     let (kind_table, _) = match_arms_of(f, kind_fn, &en.name);
-    let (dispatch_arms, dispatch_has_wildcard) = match handle_fn {
-        Some(h) => match_arms_of(f, h, &en.name),
-        None => (Vec::new(), false),
-    };
+    let (dispatch_fn, dispatch_arms, dispatch_has_wildcard) = ["route", "handle"]
+        .iter()
+        .filter_map(|name| {
+            let fun = items
+                .iter()
+                .find(|i| i.kind == ItemKind::Fn && i.name == *name && !f.item_masked(i))?;
+            let (arms, wildcard) = match_arms_of(f, fun, &en.name);
+            Some((Some(*fun), arms, wildcard))
+        })
+        .max_by_key(|(_, arms, _)| arms.len())
+        .unwrap_or((None, Vec::new(), false));
     Some(EventAlphabet {
         crate_name: f.crate_name.clone(),
         file: f.rel_path.clone(),
@@ -339,7 +346,7 @@ fn extract_alphabet(f: &FileIndex) -> Option<EventAlphabet> {
         kind_table,
         kind_fn_line: kind_fn.line,
         dispatch_arms,
-        dispatch_fn_line: handle_fn.map(|h| h.line).unwrap_or(0),
+        dispatch_fn_line: dispatch_fn.map(|h| h.line).unwrap_or(0),
         dispatch_has_wildcard,
     })
 }

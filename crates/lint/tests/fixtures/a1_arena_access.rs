@@ -1,0 +1,25 @@
+// Fixture: A1 arena-access. Linted as crate `proto` (deterministic),
+// at a path that is NOT the world.rs/arena.rs accessor seam.
+
+fn raw_subscripts(peers: &[u32], arena: &[u32]) -> u32 {
+    let a = peers[0];
+    let b = arena[1];
+    a + b
+}
+
+fn raw_gets(peers: &[u32], arena: &mut Vec<u32>) -> Option<u32> {
+    let x = peers.get(0)?;
+    let y = arena.get_mut(1)?;
+    Some(*x + *y)
+}
+
+fn sanctioned_api(world: &World) -> usize {
+    // Method calls on the accessor seam are fine: `peers` here is
+    // followed by `(`, not `[` / `.get(`.
+    world.peers().count()
+}
+
+fn escaped(peers: &[u32]) -> u32 {
+    // cs-lint: allow(arena-access) — index proven in-bounds by caller invariant
+    peers[2]
+}

@@ -19,8 +19,8 @@ use crate::mcache::McEntry;
 #[derive(Clone, Debug, Default)]
 pub struct Bootstrap {
     /// Dense list for O(1) random sampling.
-    peers: Vec<NodeId>,
-    /// id → (index in `peers`, join time).
+    roster: Vec<NodeId>,
+    /// id → (index in `roster`, join time).
     index: DetMap<NodeId, (usize, SimTime)>,
     /// Dedicated helper servers, included in every reply.
     servers: Vec<(NodeId, SimTime)>,
@@ -44,17 +44,17 @@ impl Bootstrap {
         if self.index.contains_key(&id) {
             return;
         }
-        self.index.insert(id, (self.peers.len(), now));
-        self.peers.push(id);
+        self.index.insert(id, (self.roster.len(), now));
+        self.roster.push(id);
     }
 
     /// Deregister a peer on leave.
     pub fn deregister(&mut self, id: NodeId) {
         if let Some((ix, _)) = self.index.remove(&id) {
-            let last = self.peers.len() - 1;
-            self.peers.swap_remove(ix);
-            if ix <= last && ix < self.peers.len() {
-                let moved = self.peers[ix];
+            let last = self.roster.len() - 1;
+            self.roster.swap_remove(ix);
+            if ix <= last && ix < self.roster.len() {
+                let moved = self.roster[ix];
                 if let Some(slot) = self.index.get_mut(&moved) {
                     slot.0 = ix;
                 }
@@ -64,12 +64,12 @@ impl Bootstrap {
 
     /// Registered peer count (servers excluded).
     pub fn len(&self) -> usize {
-        self.peers.len()
+        self.roster.len()
     }
 
     /// Whether no peers are registered.
     pub fn is_empty(&self) -> bool {
-        self.peers.is_empty()
+        self.roster.is_empty()
     }
 
     /// Answer a join request: up to two random servers plus a random
@@ -92,7 +92,7 @@ impl Bootstrap {
             });
         }
         let want_peers = fanout.saturating_sub(out.len());
-        if want_peers > 0 && !self.peers.is_empty() {
+        if want_peers > 0 && !self.roster.is_empty() {
             // Sample without replacement by index shuffle over a bounded
             // draw: for small fanout relative to population, rejection
             // sampling is cheaper than a full shuffle.
@@ -100,7 +100,7 @@ impl Bootstrap {
             let mut guard = 0;
             while chosen.len() < want_peers && guard < fanout * 20 {
                 guard += 1;
-                let pick = self.peers[rng.gen_range(0..self.peers.len())];
+                let pick = self.roster[rng.gen_range(0..self.roster.len())];
                 if pick != requester && !chosen.contains(&pick) {
                     chosen.push(pick);
                 }

@@ -142,7 +142,7 @@ impl Chaos<'_> {
             );
             self.w.net.set_upload(id, new);
             if let Some(p) = self.w.peer_mut(id) {
-                p.upload = new;
+                p.core.upload = new;
             }
         }
     }
@@ -165,7 +165,7 @@ impl Chaos<'_> {
             let floor = Bandwidth(FREE_RIDER_BPS);
             self.w.net.set_upload(id, floor);
             if let Some(p) = self.w.peer_mut(id) {
-                p.upload = floor;
+                p.core.upload = floor;
             }
         }
     }

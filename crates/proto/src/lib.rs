@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bootstrap;
 mod buffer;
 mod chaos;
@@ -42,6 +43,7 @@ mod world;
 #[cfg(test)]
 mod partnership_tests;
 
+pub use arena::PeerHandle;
 pub use bootstrap::Bootstrap;
 pub use buffer::{BufferMap, StreamBuffer};
 pub use invariant::{InvariantChecker, Violation};
@@ -49,7 +51,7 @@ pub use mcache::{MCache, McEntry};
 pub use membership::MembershipState;
 pub use params::{Allocation, Params, ReplacePolicy, StartPolicy};
 pub use partnership::{PartnerView, PartnershipState};
-pub use peer::Peer;
+pub use peer::{Peer, PeerCore, PeerMut, PeerRef};
 pub use session::{finalize_sessions, user_classes, DepartReason, SessionRecord};
 pub use snapshot::{bfs_depths, edge_bucket, EdgeBucket, TopologySnapshot};
 pub use stream::{ReportCounters, StreamState};

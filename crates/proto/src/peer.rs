@@ -2,10 +2,15 @@
 //! blocks of Fig. 1 ([`MembershipState`], [`PartnershipState`],
 //! [`StreamState`]).
 //!
-//! [`Peer`] itself only carries identity and lifetime facts; everything a
-//! manager owns lives in that manager's sub-struct, and only the owning
-//! module mutates it. The read-only delegators below give observers
-//! (invariant oracles, telemetry, snapshots, tests) one flat view.
+//! [`Peer`] is the *construction row*: call sites build one flat record
+//! and hand it to the world, which immediately shears it into the
+//! arena's struct-of-arrays columns ([`PeerCore`] plus the three
+//! manager states — see [`arena`](crate::arena)). Live peers are then
+//! accessed through the column views: [`PeerRef`] (read, `Copy`, with
+//! identity fields inlined by value) and [`PeerMut`] (write, one `&mut`
+//! per column). Only the owning manager mutates its column. The
+//! read-only delegators give observers (invariant oracles, telemetry,
+//! snapshots, tests) one flat view.
 
 use std::collections::BTreeMap;
 
@@ -86,6 +91,26 @@ impl Peer {
         matches!(self.class, NodeClass::Nat | NodeClass::Upnp)
     }
 
+    /// Shear the row into the arena's columns.
+    pub(crate) fn into_parts(self) -> (PeerCore, MembershipState, PartnershipState, StreamState) {
+        (
+            PeerCore {
+                id: self.id,
+                user: self.user,
+                class: self.class,
+                upload: self.upload,
+                join_time: self.join_time,
+                retry_index: self.retry_index,
+                intended_leave: self.intended_leave,
+                retries_left: self.retries_left,
+                patience: self.patience,
+            },
+            self.membership,
+            self.partnership,
+            self.stream,
+        )
+    }
+
     /// Read-only view of the mCache (membership manager state).
     pub fn mcache(&self) -> &MCache {
         self.membership.cache()
@@ -151,6 +176,169 @@ impl Peer {
     /// now (§IV.B: once per `T_a`).
     pub fn adaptation_allowed(&self, now: SimTime, ta: SimTime) -> bool {
         self.partnership.adaptation_allowed(now, ta)
+    }
+}
+
+/// The identity column of the arena: stable identity and lifetime facts
+/// of one peer incarnation. Owned by the world, mutated only through
+/// [`PeerMut::core`] (chaos upload rescaling is the one writer).
+#[derive(Clone, Copy, Debug)]
+pub struct PeerCore {
+    /// Network identity of this incarnation.
+    pub id: NodeId,
+    /// Stable user identity across retries.
+    pub user: UserId,
+    /// Connection class.
+    pub class: NodeClass,
+    /// Uplink capacity.
+    pub upload: Bandwidth,
+    /// Join time of this incarnation.
+    pub join_time: SimTime,
+    /// Which retry of the user this incarnation is (0 = first attempt).
+    pub retry_index: u32,
+    /// When this incarnation intends to leave.
+    pub intended_leave: SimTime,
+    /// Retries the user still has in them after this incarnation fails.
+    pub retries_left: u32,
+    /// How long the user waits for media-ready before giving up.
+    pub patience: SimTime,
+}
+
+impl PeerCore {
+    /// Whether the peer's local address is private (RFC1918).
+    pub fn private_addr(&self) -> bool {
+        matches!(self.class, NodeClass::Nat | NodeClass::Upnp)
+    }
+}
+
+/// Read view of one live peer: four column references, nothing copied.
+/// `Copy` and `Deref<Target = PeerCore>`, so identity reads (`p.id`,
+/// `p.class`, …) look like field access while construction stays four
+/// pointer moves — this view is built on every accessor hit, so its
+/// cost is the arena's read overhead. Delegators take `self` and return
+/// references that outlive the view itself (tied to the arena borrow
+/// `'a`).
+#[derive(Clone, Copy)]
+pub struct PeerRef<'a> {
+    /// Identity column (also the `Deref` target).
+    pub core: &'a PeerCore,
+    /// Membership manager column (mCache).
+    pub membership: &'a MembershipState,
+    /// Partnership manager column (partner views, adaptation cool-down).
+    pub partnership: &'a PartnershipState,
+    /// Stream manager column (parents, children, buffer, playback).
+    pub stream: &'a StreamState,
+}
+
+impl std::ops::Deref for PeerRef<'_> {
+    type Target = PeerCore;
+
+    fn deref(&self) -> &PeerCore {
+        self.core
+    }
+}
+
+impl<'a> PeerRef<'a> {
+    /// Read-only view of the mCache (membership manager state).
+    pub fn mcache(self) -> &'a MCache {
+        self.membership.cache()
+    }
+
+    /// Partner → last known buffer map (partnership manager state).
+    pub fn partners(self) -> &'a BTreeMap<NodeId, PartnerView> {
+        self.partnership.partners()
+    }
+
+    /// Current parent per sub-stream (stream manager state).
+    pub fn parents(self) -> &'a [Option<NodeId>] {
+        self.stream.parents()
+    }
+
+    /// Served sub-stream subscriptions: (child, sub-stream).
+    pub fn children(self) -> &'a [(NodeId, u32)] {
+        self.stream.children()
+    }
+
+    /// Buffer; `None` until the start position is chosen (§IV.A).
+    pub fn buffer(self) -> Option<&'a StreamBuffer> {
+        self.stream.buffer()
+    }
+
+    /// When the first sub-stream subscription was made.
+    pub fn start_sub(self) -> Option<SimTime> {
+        self.stream.start_sub()
+    }
+
+    /// When the media player started.
+    pub fn media_ready(self) -> Option<SimTime> {
+        self.stream.media_ready()
+    }
+
+    /// Global seq of the next block to play.
+    pub fn next_play(self) -> u64 {
+        self.stream.next_play()
+    }
+
+    /// Out-going sub-stream degree `D_p`.
+    #[inline]
+    pub fn out_degree(self) -> usize {
+        self.stream.out_degree()
+    }
+
+    /// Number of incoming partners (they connected to us).
+    pub fn incoming_partners(self) -> usize {
+        self.partnership.incoming_partners()
+    }
+
+    /// Number of outgoing partners (we connected to them).
+    pub fn outgoing_partners(self) -> usize {
+        self.partnership.outgoing_partners()
+    }
+
+    /// Current number of distinct parents.
+    pub fn parent_count(self) -> usize {
+        self.stream.parent_count()
+    }
+
+    /// Whether the cool-down timer permits a quality-triggered adaptation
+    /// now (§IV.B: once per `T_a`).
+    pub fn adaptation_allowed(self, now: SimTime, ta: SimTime) -> bool {
+        self.partnership.adaptation_allowed(now, ta)
+    }
+}
+
+/// Write view of one live peer: one `&mut` per arena column. Managers
+/// write only their own column; identity writes go through `core`.
+pub struct PeerMut<'a> {
+    /// Identity column.
+    pub core: &'a mut PeerCore,
+    /// Membership manager column (mCache).
+    pub membership: &'a mut MembershipState,
+    /// Partnership manager column (partner views, adaptation cool-down).
+    pub partnership: &'a mut PartnershipState,
+    /// Stream manager column (parents, children, buffer, playback).
+    pub stream: &'a mut StreamState,
+}
+
+impl PeerMut<'_> {
+    /// Whether the peer's local address is private (RFC1918).
+    pub fn private_addr(&self) -> bool {
+        self.core.private_addr()
+    }
+
+    /// Number of incoming partners (they connected to us).
+    pub fn incoming_partners(&self) -> usize {
+        self.partnership.incoming_partners()
+    }
+
+    /// Number of outgoing partners (we connected to them).
+    pub fn outgoing_partners(&self) -> usize {
+        self.partnership.outgoing_partners()
+    }
+
+    /// Current number of distinct parents.
+    pub fn parent_count(&self) -> usize {
+        self.stream.parent_count()
     }
 }
 

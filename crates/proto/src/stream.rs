@@ -391,7 +391,7 @@ impl Stream<'_> {
         let mut give_up = false;
         {
             let p = self.w.peer_mut(id)?;
-            let s = &mut p.stream;
+            let s = p.stream;
             let buf = s.buffer.as_ref()?;
             match s.media_ready {
                 None => {
@@ -455,10 +455,10 @@ impl Stream<'_> {
     /// Emit the three 5-minute status reports (§V.A).
     pub(crate) fn report_tick(&mut self, id: NodeId, now: SimTime) {
         let Some(p) = self.w.peer_mut(id) else { return };
-        if !p.class.is_user() {
+        if !p.core.class.is_user() {
             return;
         }
-        let user = p.user;
+        let user = p.core.user;
         let node = id.0;
         let private = p.private_addr();
         let c = p.stream.counters;

@@ -40,12 +40,13 @@ use cs_sim::rng::{streams, Xoshiro256PlusPlus};
 use cs_sim::{Ctx, KindClassify, ManagerClassify, SimTime, World};
 use rand::Rng;
 
+use crate::arena::{PeerArena, PeerHandle};
 use crate::bootstrap::Bootstrap;
 use crate::chaos::Chaos;
 use crate::membership::Membership;
 use crate::params::Params;
 use crate::partnership::Partnership;
-use crate::peer::Peer;
+use crate::peer::{Peer, PeerMut, PeerRef};
 use crate::session::SessionRecord;
 use crate::snapshot::TopologySnapshot;
 use crate::stream::Stream;
@@ -170,9 +171,39 @@ impl Event {
         }
     }
 
+    /// The peer this event addresses, or `None` for world-scoped events
+    /// (arrivals, which have no node id yet, and global injections).
+    ///
+    /// This is the shard-ready seam: `World::handle` resolves the
+    /// target to a [`PeerHandle`] *before* any manager code runs, so a
+    /// future sharded `CsWorld` can route events to the owning shard at
+    /// this one choke point.
+    pub fn target(&self) -> Option<NodeId> {
+        match *self {
+            Event::BootstrapReply(id)
+            | Event::PartnersReady(id)
+            | Event::PatienceCheck(id)
+            | Event::Depart(id)
+            | Event::GossipTick(id)
+            | Event::BmTick(id)
+            | Event::SchedRound(id)
+            | Event::PlaybackTick(id)
+            | Event::ReportTick(id) => Some(id),
+            Event::Arrive(_)
+            | Event::Snapshot
+            | Event::SetBootstrap(_)
+            | Event::CrashServer(_)
+            | Event::RestartServer(_)
+            | Event::RegionalOutage { .. }
+            | Event::SetPolicy(_)
+            | Event::ScaleUploads { .. }
+            | Event::FreeRiders { .. } => None,
+        }
+    }
+
     /// The manager whose handler runs this event — the span-tracing axis.
-    /// Mirrors the `World::handle` dispatch table below (`engine` covers
-    /// the world-level housekeeping arms that no manager owns).
+    /// Mirrors the [`CsWorld::route`] dispatch table below (`engine`
+    /// covers the world-level housekeeping arms that no manager owns).
     pub fn manager(&self) -> &'static str {
         match self {
             Event::Arrive(_)
@@ -254,7 +285,8 @@ pub struct CsWorld {
     pub params: Params,
     /// The network substrate.
     pub net: Network,
-    peers: Vec<Option<Peer>>,
+    /// All per-peer state, in generational struct-of-arrays columns.
+    arena: PeerArena,
     /// The broadcast source node.
     pub source: NodeId,
     /// The dedicated helper servers (§V.A: 24 × 100 Mbps in the event).
@@ -294,10 +326,10 @@ impl CsWorld {
         // cs-lint: allow(panic-in-lib) — constructor-style precondition: invalid Params is a programming error, not a runtime state
         params.validate().expect("invalid params");
         let mut bootstrap = Bootstrap::new();
-        let mut peers: Vec<Option<Peer>> = Vec::new();
+        let mut arena = PeerArena::new();
         let mut sessions = Vec::new();
         let push_infra = |net: &mut Network,
-                          peers: &mut Vec<Option<Peer>>,
+                          arena: &mut PeerArena,
                           sessions: &mut Vec<SessionRecord>,
                           class: NodeClass,
                           bw: Bandwidth| {
@@ -314,7 +346,7 @@ impl CsWorld {
                 0,
                 SimTime::MAX,
             );
-            peers.push(Some(peer));
+            arena.insert(peer);
             sessions.push(SessionRecord {
                 user: UserId(u32::MAX - id.0),
                 node: id,
@@ -338,7 +370,7 @@ impl CsWorld {
         let source_bw = Bandwidth::mbps(12);
         let source = push_infra(
             &mut net,
-            &mut peers,
+            &mut arena,
             &mut sessions,
             NodeClass::Source,
             source_bw,
@@ -347,7 +379,7 @@ impl CsWorld {
             .map(|_| {
                 let id = push_infra(
                     &mut net,
-                    &mut peers,
+                    &mut arena,
                     &mut sessions,
                     NodeClass::Server,
                     server_bw,
@@ -360,7 +392,7 @@ impl CsWorld {
         CsWorld {
             params,
             net,
-            peers,
+            arena,
             source,
             servers,
             bootstrap,
@@ -397,53 +429,73 @@ impl CsWorld {
     }
 
     /// Access a peer's state.
-    pub fn peer(&self, id: NodeId) -> Option<&Peer> {
-        self.peers.get(id.index()).and_then(Option::as_ref)
+    pub fn peer(&self, id: NodeId) -> Option<PeerRef<'_>> {
+        self.arena.get_by_node(id)
+    }
+
+    /// The arena handle for a live node, if present. Handles stay valid
+    /// until the peer departs; later access through a stale handle trips
+    /// a debug assertion (see [`CsWorld::peer_by_handle`]).
+    pub fn peer_handle(&self, id: NodeId) -> Option<PeerHandle> {
+        self.arena.handle_of(id)
+    }
+
+    /// Access a peer through its arena handle. Generation-checked: a
+    /// handle outliving its peer is a programming error caught by a
+    /// `debug_assert` in debug builds (`None` in release).
+    pub fn peer_by_handle(&self, handle: PeerHandle) -> Option<PeerRef<'_>> {
+        self.arena.get(handle)
+    }
+
+    /// Number of live peers (source, servers, and users).
+    pub fn peer_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Allocated arena slots (live peers plus vacated free-list slots).
+    /// Under churn this tracks peak concurrency, not total arrivals —
+    /// the memory-footprint witness for slot reuse.
+    pub fn peer_slots(&self) -> usize {
+        self.arena.slots()
+    }
+
+    /// Pre-size the peer arena for an expected population (scenario
+    /// plumbing: one slot per expected concurrent peer).
+    pub fn reserve_peers(&mut self, peers: usize) {
+        self.arena.reserve(peers);
     }
 
     /// Iterate every live peer (source, servers, and users), in node-id
     /// order.
-    pub fn peers(&self) -> impl Iterator<Item = &Peer> {
-        self.peers.iter().filter_map(Option::as_ref)
+    pub fn peers(&self) -> impl Iterator<Item = PeerRef<'_>> {
+        self.arena.iter()
     }
 
     /// Mutable peer access, for the manager modules.
-    pub(crate) fn peer_mut(&mut self, id: NodeId) -> Option<&mut Peer> {
-        self.peers.get_mut(id.index()).and_then(Option::as_mut)
+    pub(crate) fn peer_mut(&mut self, id: NodeId) -> Option<PeerMut<'_>> {
+        self.arena.get_mut_by_node(id)
     }
 
     /// Simultaneous mutable access to two distinct peers.
-    pub(crate) fn two_mut(&mut self, a: NodeId, b: NodeId) -> Option<(&mut Peer, &mut Peer)> {
-        let (ai, bi) = (a.index(), b.index());
-        assert_ne!(ai, bi);
-        if ai < bi {
-            let (lo, hi) = self.peers.split_at_mut(bi);
-            Some((lo[ai].as_mut()?, hi[0].as_mut()?))
-        } else {
-            let (lo, hi) = self.peers.split_at_mut(ai);
-            let second = hi[0].as_mut()?;
-            Some((second, lo[bi].as_mut()?))
-        }
+    pub(crate) fn two_mut(&mut self, a: NodeId, b: NodeId) -> Option<(PeerMut<'_>, PeerMut<'_>)> {
+        self.arena.pair_mut(a, b)
     }
 
-    /// Append a freshly arrived peer; its node id must be the next free
-    /// table slot.
+    /// Install a freshly arrived peer.
     pub(crate) fn push_peer(&mut self, peer: Peer) {
-        debug_assert_eq!(peer.id.index(), self.peers.len());
-        self.peers.push(Some(peer));
+        self.arena.insert(peer);
     }
 
-    /// Drop a departed or crashed peer's state.
+    /// Drop a departed or crashed peer's state; its arena slot joins the
+    /// free list and outstanding handles to it go stale.
     pub(crate) fn remove_peer(&mut self, id: NodeId) {
-        self.peers[id.index()] = None;
+        self.arena.remove(id);
     }
 
-    /// Re-install peer state into a previously vacated slot (a server
-    /// restart re-using its original node id).
+    /// Re-install peer state for a previously vacated node id (a server
+    /// restart re-using its original identity).
     pub(crate) fn revive_peer(&mut self, peer: Peer) {
-        let ix = peer.id.index();
-        debug_assert!(self.peers[ix].is_none(), "slot {ix} still occupied");
-        self.peers[ix] = Some(peer);
+        self.arena.insert(peer);
     }
 
     /// Schedule a retry arrival with a short think time.
@@ -451,16 +503,22 @@ impl CsWorld {
         let think = SimTime::from_millis(self.rng_retry.gen_range(2_000..6_000));
         ctx.schedule_in(think, Event::Arrive(spec));
     }
-}
 
-impl World for CsWorld {
-    type Event = Event;
-
-    /// Route each event to its manager (see the module docs for the
-    /// variant → manager table), keeping periodic re-scheduling here so
-    /// manager code never owns the clock.
-    fn handle(&mut self, ctx: &mut Ctx<'_, Event>, event: Event) {
+    /// The single dispatch choke point: route one event to its manager
+    /// (see the module docs for the variant → manager table), keeping
+    /// periodic re-scheduling here so manager code never owns the clock.
+    ///
+    /// `target` is the event's pre-resolved peer handle (`None` for
+    /// world-scoped events or peers that already departed). Today it
+    /// only asserts the seam's contract; a sharded `CsWorld` will use it
+    /// to pick the owning shard before any manager state is touched.
+    fn route(&mut self, ctx: &mut Ctx<'_, Event>, event: Event, target: Option<PeerHandle>) {
         let now = ctx.now();
+        debug_assert_eq!(
+            target,
+            event.target().and_then(|id| self.arena.handle_of(id)),
+            "dispatch seam: stale target handle"
+        );
         match event {
             Event::Arrive(spec) => Membership::of(self).arrive(spec, now, ctx),
             Event::BootstrapReply(id) => Membership::of(self).bootstrap_reply(id, now, ctx),
@@ -521,5 +579,16 @@ impl World for CsWorld {
             Event::ScaleUploads { num, den } => Chaos::of(self).scale_uploads(num, den),
             Event::FreeRiders { per_mille } => Chaos::of(self).free_riders(per_mille),
         }
+    }
+}
+
+impl World for CsWorld {
+    type Event = Event;
+
+    /// Resolve the event's target peer handle up front, then hand off to
+    /// [`CsWorld::route`] — the one place manager dispatch happens.
+    fn handle(&mut self, ctx: &mut Ctx<'_, Event>, event: Event) {
+        let target = event.target().and_then(|id| self.arena.handle_of(id));
+        self.route(ctx, event, target);
     }
 }

@@ -98,9 +98,17 @@ pub struct Engine<W: World> {
 impl<W: World> Engine<W> {
     /// Wrap a world with an empty queue at time zero.
     pub fn new(world: W) -> Self {
+        Engine::with_queue_capacity(world, 0)
+    }
+
+    /// [`Engine::new`] with the event queue pre-sized for roughly
+    /// `events` concurrently pending events (e.g. a scenario's expected
+    /// peer count times its per-peer periodic timers), avoiding regrowth
+    /// during the arrival ramp.
+    pub fn with_queue_capacity(world: W, events: usize) -> Self {
         Engine {
             world,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(events),
             now: SimTime::ZERO,
             observer: None,
             event_budget: u64::MAX,

@@ -49,6 +49,7 @@ pub use engine::{Ctx, Engine, RunStats, StopReason, World};
 pub use observer::{
     DispatchMeta, EventStats, KindClassify, ManagerClassify, MultiObserver, Observer, TraceHasher,
 };
+pub use queue::reference::ReferenceQueue;
 pub use queue::{EventQueue, Popped};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEntry};
