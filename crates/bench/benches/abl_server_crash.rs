@@ -47,6 +47,7 @@ fn run(crash: bool) -> coolstreaming::RunArtifacts {
         world,
         scheduled_arrivals: n,
         run_stats,
+        shard_events: None,
     }
 }
 

@@ -36,6 +36,7 @@ fn options(telemetry: Option<TelemetryConfig>) -> RunOptions {
         trace_hash: false,
         record_spans: false,
         telemetry,
+        shards: 0,
     }
 }
 

@@ -44,6 +44,7 @@ fn build_spec(
             firewall_accept_prob: (magnitude / 4.0).min(1.0),
         }),
         snapshot_s: (knobs & 32 != 0).then_some(30 + seed % 120),
+        shards: (knobs & 64 != 0).then_some(1 + seed % 8),
         events: Vec::new(),
     };
     let server_count = spec.servers.map_or(1, |s| s.count);

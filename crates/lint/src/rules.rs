@@ -185,6 +185,21 @@ stale handles after slot reuse, and couples callers to the slab layout the shard
 work (ROADMAP item 1) will change. Route access through the world.rs accessors, or \
 escape with the invariant that makes the raw access safe.",
     },
+    A2 {
+        id: "A2",
+        slug: "shard-isolation",
+        escapable: true,
+        scope: "deterministic crates, outside the shard router seam (proto world/shard/arena, sim shard)",
+        summary: "Raw shard-partition access outside the router seam.",
+        explain: "Sharded execution partitions the peer arena into per-shard columns behind \
+a deterministic NodeId→shard map (crates/proto/src/shard.rs). CsWorld is a thin router: \
+manager code addresses peers by NodeId or handle and must never see partition boundaries. \
+Raw `shards[i]` subscripts or `shard_pair_mut(..)` calls outside the seam \
+(crates/proto/src/{world,shard,arena}.rs, crates/sim/src/shard.rs) couple callers to the \
+partition layout and can cross shard ownership lines, which breaks the epoch-barrier \
+driver's byte-identical-to-solo guarantee. Route access through the CsWorld accessors, \
+or escape with the ownership invariant that makes the raw access safe.",
+    },
     X1 {
         id: "X1",
         slug: "dispatch-exhaustive",
@@ -271,6 +286,9 @@ pub struct Config {
     /// The peer-arena accessor seam: the only files allowed to index the
     /// arena's columns directly (A1).
     pub arena_files: Vec<String>,
+    /// The shard router seam: the only files allowed raw partition
+    /// access (`shards[i]`, `shard_pair_mut`) (A2).
+    pub shard_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -289,9 +307,21 @@ impl Default for Config {
             entropy_files: vec!["crates/sim/src/rng.rs".to_string()],
             max_file_lines: 800,
             stream_module: "crates/sim/src/rng.rs".to_string(),
-            arena_files: ["crates/proto/src/world.rs", "crates/proto/src/arena.rs"]
-                .map(String::from)
-                .to_vec(),
+            arena_files: [
+                "crates/proto/src/world.rs",
+                "crates/proto/src/arena.rs",
+                "crates/proto/src/shard.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            shard_files: [
+                "crates/proto/src/world.rs",
+                "crates/proto/src/shard.rs",
+                "crates/proto/src/arena.rs",
+                "crates/sim/src/shard.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
         }
     }
 }
@@ -342,6 +372,7 @@ pub fn lint_tokens(ctx: &FileCtx<'_>, lexed: &Lexed, mask: &[bool], cfg: &Config
     let panic_ok = cfg.panic_exempt_crates.iter().any(|c| c == ctx.crate_name);
     let entropy_ok = cfg.entropy_files.iter().any(|f| f == ctx.rel_path);
     let arena_ok = cfg.arena_files.iter().any(|f| f == ctx.rel_path);
+    let shard_ok = cfg.shard_files.iter().any(|f| f == ctx.rel_path);
 
     for i in 0..toks.len() {
         if mask.get(i).copied().unwrap_or(false) {
@@ -467,6 +498,30 @@ pub fn lint_tokens(ctx: &FileCtx<'_>, lexed: &Lexed, mask: &[bool], cfg: &Config
                         "raw `{}` access bypasses the generational accessor seam; go through \
                          the CsWorld peer accessors (world.rs) or escape with \
                          `// cs-lint: allow(arena-access) — <invariant>`",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // A2 — raw shard-partition access outside the router seam. Flags
+        // `shards[…]` subscripts and `shard_pair_mut(…)` calls; method
+        // calls like `world.shards()` or `map.shard_of(id)` are the
+        // sanctioned API and don't match.
+        if det && !shard_ok && t.kind == TokKind::Ident {
+            let indexed =
+                t.text == "shards" && matches!(toks.get(i + 1), Some(n) if n.is_punct("["));
+            let pair_call =
+                t.text == "shard_pair_mut" && matches!(toks.get(i + 1), Some(n) if n.is_punct("("));
+            if indexed || pair_call {
+                push(
+                    &mut raw,
+                    t.line,
+                    RuleId::A2,
+                    format!(
+                        "raw `{}` partition access couples callers to the shard layout; go \
+                         through the CsWorld router accessors or escape with \
+                         `// cs-lint: allow(shard-isolation) — <ownership invariant>`",
                         t.text
                     ),
                 );

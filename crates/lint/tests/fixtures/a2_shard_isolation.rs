@@ -1,0 +1,19 @@
+// Fixture: A2 shard-isolation. Linted as crate `proto` (deterministic),
+// at a path that is NOT the world.rs/shard.rs/arena.rs router seam.
+
+fn raw_partition_access(shards: &mut [u32]) -> u32 {
+    let a = shards[0];
+    let (x, y) = shard_pair_mut(shards, 0, 1);
+    a + *x + *y
+}
+
+fn sanctioned_api(world: &World, map: &ShardMap) -> usize {
+    // Method calls are fine: `shards` here is followed by `(`, not `[`,
+    // and `shard_of` is the map's public API.
+    world.shards() + map.shard_of(NodeId(3))
+}
+
+fn escaped(shards: &mut [u32]) -> u32 {
+    // cs-lint: allow(shard-isolation) — index is this event's owner shard, held exclusively for the epoch
+    shards[2]
+}

@@ -1,0 +1,214 @@
+//! Shard partitioning of the peer state.
+//!
+//! [`CsWorld`](crate::CsWorld) is a thin *router* over `S` independent
+//! [`WorldShard`] partitions. Each shard owns the [`PeerArena`] columns
+//! (and therefore the manager state — lint rule P1 proves manager state
+//! is module-private, i.e. shard-safe) for the node ids the
+//! deterministic [`ShardMap`] assigns to it. All shared, non-per-peer
+//! state — the network substrate, boot-strap node, log server, RNG
+//! streams, session records — stays on the router, which is what keeps
+//! the RNG draw order of a sharded run byte-identical to the solo run.
+//!
+//! The map is round-robin (`id mod S`): stable (a pure function of the
+//! id), total (defined for every id), and balanced — over any
+//! contiguous id range the per-shard populations differ by at most one
+//! (the bound the `shard_map_is_stable_total_balanced` proptest pins).
+//! Round-robin also gives each partition a *dense* local id space
+//! (`id / S`), so the S lookup spines together use the same memory as
+//! one solo arena.
+//!
+//! Raw partition access (`shards[i]`, foreign-handle resolution) is
+//! confined to `world.rs`/`arena.rs`/this file by lint rule A2.
+
+use cs_net::NodeId;
+
+use crate::arena::{PeerArena, PeerHandle};
+use crate::peer::{Peer, PeerMut, PeerRef};
+
+/// The deterministic `NodeId → shard` assignment: round-robin modulo
+/// the shard count. See the module docs for its properties.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// A map over `shards` partitions (clamped to at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardMap {
+            shards: u32::try_from(shards.max(1)).unwrap_or(u32::MAX),
+        }
+    }
+
+    /// Number of shard partitions (≥ 1).
+    pub fn len(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Never empty: there is always at least one partition.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shard owning `id`. Total and stable by construction.
+    pub fn shard_of(&self, id: NodeId) -> usize {
+        (id.0 % self.shards) as usize
+    }
+}
+
+/// One shard's slice of the world: the arena partition holding every
+/// peer the [`ShardMap`] assigns to this shard. The router resolves a
+/// node id to its owning shard exactly once per access; manager code
+/// never sees partition boundaries.
+pub(crate) struct WorldShard {
+    arena: PeerArena,
+}
+
+impl WorldShard {
+    /// The partition for shard `shard_id` of an `stride`-way map.
+    pub(crate) fn new(shard_id: u16, stride: u32) -> Self {
+        WorldShard {
+            arena: PeerArena::with_partition(shard_id, stride),
+        }
+    }
+
+    /// Pre-size this partition's columns and lookup spine.
+    pub(crate) fn reserve(&mut self, peers: usize) {
+        self.arena.reserve(peers);
+    }
+
+    /// Live peers in this partition.
+    pub(crate) fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Allocated slots in this partition (live + free).
+    pub(crate) fn slots(&self) -> usize {
+        self.arena.slots()
+    }
+
+    pub(crate) fn insert(&mut self, peer: Peer) -> PeerHandle {
+        self.arena.insert(peer)
+    }
+
+    pub(crate) fn remove(&mut self, id: NodeId) -> bool {
+        self.arena.remove(id)
+    }
+
+    pub(crate) fn handle_of(&self, id: NodeId) -> Option<PeerHandle> {
+        self.arena.handle_of(id)
+    }
+
+    pub(crate) fn get(&self, h: PeerHandle) -> Option<PeerRef<'_>> {
+        self.arena.get(h)
+    }
+
+    pub(crate) fn get_by_node(&self, id: NodeId) -> Option<PeerRef<'_>> {
+        self.arena.get_by_node(id)
+    }
+
+    pub(crate) fn get_mut_by_node(&mut self, id: NodeId) -> Option<PeerMut<'_>> {
+        self.arena.get_mut_by_node(id)
+    }
+
+    pub(crate) fn pair_mut(&mut self, a: NodeId, b: NodeId) -> Option<(PeerMut<'_>, PeerMut<'_>)> {
+        self.arena.pair_mut(a, b)
+    }
+
+    /// Iterate this partition's live peers in node-id order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = PeerRef<'_>> {
+        self.arena.iter()
+    }
+}
+
+/// Two disjoint `&mut` shards, `(i, j)` in that order — the cross-shard
+/// analogue of the arena's column split, used by the router's `two_mut`
+/// when a partnership spans partitions.
+pub(crate) fn shard_pair_mut(
+    shards: &mut [WorldShard],
+    i: usize,
+    j: usize,
+) -> (&mut WorldShard, &mut WorldShard) {
+    assert_ne!(i, j, "pair of one shard");
+    if i < j {
+        let (lo, hi) = shards.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = shards.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_total_and_stable() {
+        let m = ShardMap::new(4);
+        assert_eq!(m.len(), 4);
+        for id in 0..1000u32 {
+            let s = m.shard_of(NodeId(id));
+            assert!(s < 4);
+            assert_eq!(s, m.shard_of(NodeId(id)), "stable across calls");
+            assert_eq!(s, ShardMap::new(4).shard_of(NodeId(id)), "instance-free");
+        }
+    }
+
+    #[test]
+    fn map_is_balanced_within_one_over_contiguous_ranges() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            let m = ShardMap::new(shards);
+            for n in [1u32, 7, 64, 1000] {
+                let mut counts = vec![0u32; shards];
+                for id in 0..n {
+                    counts[m.shard_of(NodeId(id))] += 1;
+                }
+                let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+                assert!(max - min <= 1, "S={shards} n={n}: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let m = ShardMap::new(0);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        assert_eq!(m.shard_of(NodeId(17)), 0);
+    }
+
+    #[test]
+    fn shard_pair_mut_preserves_argument_order() {
+        use crate::params::Params;
+        use crate::peer::Peer;
+        use cs_logging::UserId;
+        use cs_net::{Bandwidth, NodeClass};
+        use cs_sim::SimTime;
+
+        let mut shards = vec![
+            WorldShard::new(0, 3),
+            WorldShard::new(1, 3),
+            WorldShard::new(2, 3),
+        ];
+        // Id 5 has residue 2 → shard 2; id 0 → shard 0.
+        for id in [5u32, 0] {
+            let peer = Peer::new(
+                NodeId(id),
+                UserId(id),
+                NodeClass::DirectConnect,
+                Bandwidth::kbps(500),
+                &Params::default(),
+                SimTime::ZERO,
+                0,
+                SimTime::MAX,
+                0,
+                SimTime::MAX,
+            );
+            shards[id as usize % 3].insert(peer);
+        }
+        let (a, b) = shard_pair_mut(&mut shards, 2, 0);
+        assert_eq!(a.get_by_node(NodeId(5)).unwrap().id, NodeId(5));
+        assert_eq!(b.get_by_node(NodeId(0)).unwrap().id, NodeId(0));
+    }
+}

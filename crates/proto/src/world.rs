@@ -40,7 +40,7 @@ use cs_sim::rng::{streams, Xoshiro256PlusPlus};
 use cs_sim::{Ctx, KindClassify, ManagerClassify, SimTime, World};
 use rand::Rng;
 
-use crate::arena::{PeerArena, PeerHandle};
+use crate::arena::PeerHandle;
 use crate::bootstrap::Bootstrap;
 use crate::chaos::Chaos;
 use crate::membership::Membership;
@@ -48,6 +48,7 @@ use crate::params::Params;
 use crate::partnership::Partnership;
 use crate::peer::{Peer, PeerMut, PeerRef};
 use crate::session::SessionRecord;
+use crate::shard::{shard_pair_mut, ShardMap, WorldShard};
 use crate::snapshot::TopologySnapshot;
 use crate::stream::Stream;
 
@@ -202,7 +203,7 @@ impl Event {
     }
 
     /// The manager whose handler runs this event — the span-tracing axis.
-    /// Mirrors the [`CsWorld::route`] dispatch table below (`engine`
+    /// Mirrors the `CsWorld::route` dispatch table below (`engine`
     /// covers the world-level housekeeping arms that no manager owns).
     pub fn manager(&self) -> &'static str {
         match self {
@@ -279,14 +280,23 @@ pub struct WorldStats {
     pub bootstrap_rejects: u64,
 }
 
-/// The complete simulation state.
+/// The complete simulation state: shared state plus the shard router.
+///
+/// Per-peer state lives in `WorldShard` partitions keyed by the
+/// deterministic [`ShardMap`]; everything else — network, boot-strap,
+/// log server, sessions, and crucially the three RNG streams — is
+/// shared router state, so the RNG draw order cannot depend on the
+/// shard count (see `crate::shard` and DESIGN.md §14).
 pub struct CsWorld {
     /// Protocol parameters (Table I).
     pub params: Params,
     /// The network substrate.
     pub net: Network,
-    /// All per-peer state, in generational struct-of-arrays columns.
-    arena: PeerArena,
+    /// Per-peer state, partitioned into shards of generational
+    /// struct-of-arrays columns.
+    shards: Vec<WorldShard>,
+    /// The deterministic `NodeId → shard` assignment.
+    map: ShardMap,
     /// The broadcast source node.
     pub source: NodeId,
     /// The dedicated helper servers (§V.A: 24 × 100 Mbps in the event).
@@ -318,18 +328,38 @@ impl CsWorld {
     /// engine before running.
     pub fn new(
         params: Params,
-        mut net: Network,
+        net: Network,
         n_servers: usize,
         server_bw: Bandwidth,
         master_seed: u64,
     ) -> Self {
+        Self::new_sharded(params, net, n_servers, server_bw, master_seed, 1)
+    }
+
+    /// [`CsWorld::new`] with the peer state partitioned into `shards`
+    /// round-robin shards (clamped to at least one). The shard count
+    /// changes only how per-peer state is laid out and which wheel the
+    /// sharded engine buffers each event in — never behaviour: a run is
+    /// byte-identical across shard counts.
+    pub fn new_sharded(
+        params: Params,
+        mut net: Network,
+        n_servers: usize,
+        server_bw: Bandwidth,
+        master_seed: u64,
+        shards: usize,
+    ) -> Self {
         // cs-lint: allow(panic-in-lib) — constructor-style precondition: invalid Params is a programming error, not a runtime state
         params.validate().expect("invalid params");
         let mut bootstrap = Bootstrap::new();
-        let mut arena = PeerArena::new();
+        let map = ShardMap::new(shards);
+        let stride = u32::try_from(map.len()).unwrap_or(u32::MAX);
+        let mut shards: Vec<WorldShard> = (0..map.len())
+            .map(|s| WorldShard::new(u16::try_from(s).unwrap_or(u16::MAX), stride))
+            .collect();
         let mut sessions = Vec::new();
         let push_infra = |net: &mut Network,
-                          arena: &mut PeerArena,
+                          shards: &mut Vec<WorldShard>,
                           sessions: &mut Vec<SessionRecord>,
                           class: NodeClass,
                           bw: Bandwidth| {
@@ -346,7 +376,7 @@ impl CsWorld {
                 0,
                 SimTime::MAX,
             );
-            arena.insert(peer);
+            shards[map.shard_of(id)].insert(peer);
             sessions.push(SessionRecord {
                 user: UserId(u32::MAX - id.0),
                 node: id,
@@ -370,7 +400,7 @@ impl CsWorld {
         let source_bw = Bandwidth::mbps(12);
         let source = push_infra(
             &mut net,
-            &mut arena,
+            &mut shards,
             &mut sessions,
             NodeClass::Source,
             source_bw,
@@ -379,7 +409,7 @@ impl CsWorld {
             .map(|_| {
                 let id = push_infra(
                     &mut net,
-                    &mut arena,
+                    &mut shards,
                     &mut sessions,
                     NodeClass::Server,
                     server_bw,
@@ -392,7 +422,8 @@ impl CsWorld {
         CsWorld {
             params,
             net,
-            arena,
+            shards,
+            map,
             source,
             servers,
             bootstrap,
@@ -428,74 +459,121 @@ impl CsWorld {
         evs
     }
 
+    /// Number of shard partitions the peer state is split into.
+    pub fn shard_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The shard's own partition for a node id — the single place ids
+    /// are resolved to partitions on the read path.
+    fn shard(&self, id: NodeId) -> &WorldShard {
+        &self.shards[self.map.shard_of(id)]
+    }
+
+    /// Mutable partition for a node id.
+    fn shard_mut(&mut self, id: NodeId) -> &mut WorldShard {
+        &mut self.shards[self.map.shard_of(id)]
+    }
+
     /// Access a peer's state.
     pub fn peer(&self, id: NodeId) -> Option<PeerRef<'_>> {
-        self.arena.get_by_node(id)
+        self.shard(id).get_by_node(id)
     }
 
     /// The arena handle for a live node, if present. Handles stay valid
     /// until the peer departs; later access through a stale handle trips
     /// a debug assertion (see [`CsWorld::peer_by_handle`]).
     pub fn peer_handle(&self, id: NodeId) -> Option<PeerHandle> {
-        self.arena.handle_of(id)
+        self.shard(id).handle_of(id)
     }
 
-    /// Access a peer through its arena handle. Generation-checked: a
-    /// handle outliving its peer is a programming error caught by a
+    /// Access a peer through its arena handle, resolved through the
+    /// shard partition that issued it. Generation-checked: a handle
+    /// outliving its peer is a programming error caught by a
     /// `debug_assert` in debug builds (`None` in release).
     pub fn peer_by_handle(&self, handle: PeerHandle) -> Option<PeerRef<'_>> {
-        self.arena.get(handle)
+        self.shards.get(handle.shard())?.get(handle)
     }
 
     /// Number of live peers (source, servers, and users).
     pub fn peer_count(&self) -> usize {
-        self.arena.len()
+        self.shards.iter().map(WorldShard::len).sum()
     }
 
-    /// Allocated arena slots (live peers plus vacated free-list slots).
-    /// Under churn this tracks peak concurrency, not total arrivals —
-    /// the memory-footprint witness for slot reuse.
+    /// Allocated arena slots across all partitions (live peers plus
+    /// vacated free-list slots). Under churn this tracks peak
+    /// concurrency, not total arrivals — the memory-footprint witness
+    /// for slot reuse.
     pub fn peer_slots(&self) -> usize {
-        self.arena.slots()
+        self.shards.iter().map(WorldShard::slots).sum()
     }
 
-    /// Pre-size the peer arena for an expected population (scenario
-    /// plumbing: one slot per expected concurrent peer).
+    /// Pre-size every shard's arena partition for an expected
+    /// population (scenario plumbing: one slot per expected concurrent
+    /// peer, split evenly across partitions — the round-robin map keeps
+    /// populations within one of even).
     pub fn reserve_peers(&mut self, peers: usize) {
-        self.arena.reserve(peers);
+        let n = self.shards.len();
+        let per_shard = peers / n + usize::from(peers % n != 0);
+        for shard in &mut self.shards {
+            shard.reserve(per_shard);
+        }
     }
 
     /// Iterate every live peer (source, servers, and users), in node-id
-    /// order.
+    /// order: a k-way merge of the partitions' node-id-ordered
+    /// iterators, so the order golden trace hashes rely on is
+    /// independent of the shard count.
     pub fn peers(&self) -> impl Iterator<Item = PeerRef<'_>> {
-        self.arena.iter()
+        let mut heads: Vec<_> = self.shards.iter().map(|s| s.iter().peekable()).collect();
+        std::iter::from_fn(move || {
+            let mut best: Option<(usize, NodeId)> = None;
+            for (i, it) in heads.iter_mut().enumerate() {
+                if let Some(p) = it.peek() {
+                    if best.is_none_or(|(_, bid)| p.id < bid) {
+                        best = Some((i, p.id));
+                    }
+                }
+            }
+            heads[best?.0].next()
+        })
     }
 
     /// Mutable peer access, for the manager modules.
     pub(crate) fn peer_mut(&mut self, id: NodeId) -> Option<PeerMut<'_>> {
-        self.arena.get_mut_by_node(id)
+        self.shard_mut(id).get_mut_by_node(id)
     }
 
-    /// Simultaneous mutable access to two distinct peers.
+    /// Simultaneous mutable access to two distinct peers. Within one
+    /// partition this is the arena's disjoint column split; across
+    /// partitions, a disjoint split of the shard vector.
     pub(crate) fn two_mut(&mut self, a: NodeId, b: NodeId) -> Option<(PeerMut<'_>, PeerMut<'_>)> {
-        self.arena.pair_mut(a, b)
+        let (sa, sb) = (self.map.shard_of(a), self.map.shard_of(b));
+        if sa == sb {
+            self.shards[sa].pair_mut(a, b)
+        } else {
+            let (x, y) = shard_pair_mut(&mut self.shards, sa, sb);
+            Some((x.get_mut_by_node(a)?, y.get_mut_by_node(b)?))
+        }
     }
 
-    /// Install a freshly arrived peer.
+    /// Install a freshly arrived peer in its owning partition.
     pub(crate) fn push_peer(&mut self, peer: Peer) {
-        self.arena.insert(peer);
+        let id = peer.id;
+        self.shard_mut(id).insert(peer);
     }
 
     /// Drop a departed or crashed peer's state; its arena slot joins the
-    /// free list and outstanding handles to it go stale.
+    /// owning partition's free list and outstanding handles go stale.
     pub(crate) fn remove_peer(&mut self, id: NodeId) {
-        self.arena.remove(id);
+        self.shard_mut(id).remove(id);
     }
 
     /// Re-install peer state for a previously vacated node id (a server
     /// restart re-using its original identity).
     pub(crate) fn revive_peer(&mut self, peer: Peer) {
-        self.arena.insert(peer);
+        let id = peer.id;
+        self.shard_mut(id).insert(peer);
     }
 
     /// Schedule a retry arrival with a short think time.
@@ -516,7 +594,7 @@ impl CsWorld {
         let now = ctx.now();
         debug_assert_eq!(
             target,
-            event.target().and_then(|id| self.arena.handle_of(id)),
+            event.target().and_then(|id| self.peer_handle(id)),
             "dispatch seam: stale target handle"
         );
         match event {
@@ -586,9 +664,23 @@ impl World for CsWorld {
     type Event = Event;
 
     /// Resolve the event's target peer handle up front, then hand off to
-    /// [`CsWorld::route`] — the one place manager dispatch happens.
+    /// `CsWorld::route` — the one place manager dispatch happens.
     fn handle(&mut self, ctx: &mut Ctx<'_, Event>, event: Event) {
-        let target = event.target().and_then(|id| self.arena.handle_of(id));
+        let target = event.target().and_then(|id| self.peer_handle(id));
         self.route(ctx, event, target);
+    }
+}
+
+impl cs_sim::ShardWorld for CsWorld {
+    fn shard_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The shard owning an event: its target peer's partition, or
+    /// shard 0 for world-scoped events (arrivals, snapshots, chaos
+    /// injections). A pure function of the event — the id→shard map
+    /// never consults mutable state.
+    fn shard_of(&self, event: &Event) -> usize {
+        event.target().map_or(0, |id| self.map.shard_of(id))
     }
 }

@@ -41,6 +41,7 @@ mod engine;
 pub mod observer;
 mod queue;
 pub mod rng;
+mod shard;
 mod time;
 mod trace;
 
@@ -51,5 +52,6 @@ pub use observer::{
 };
 pub use queue::reference::ReferenceQueue;
 pub use queue::{EventQueue, Popped};
+pub use shard::{ShardWorld, ShardedEngine};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEntry};

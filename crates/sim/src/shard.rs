@@ -1,0 +1,538 @@
+//! The sharded event loop.
+//!
+//! [`ShardedEngine`] generalizes [`Engine`](crate::Engine) from one
+//! timing wheel to one wheel *per shard*, while keeping the dispatch
+//! schedule — and therefore the observer stream, cause-stamping, RNG
+//! draw order, and trace hash — byte-identical to the solo engine's.
+//!
+//! # How identity is preserved
+//!
+//! The solo engine's schedule is the global `(time, seq)` total order,
+//! where `seq` is the queue's insertion counter. The sharded driver
+//! keeps both halves of that key intact:
+//!
+//! * **One staging queue owns `seq`.** Handlers schedule through an
+//!   ordinary [`Ctx`] pointed at a single *staging* [`EventQueue`],
+//!   which assigns sequence numbers and stamps causes exactly as the
+//!   solo queue would. After each handler returns, the driver drains
+//!   the staging queue and routes every entry — via
+//!   [`EventQueue::push_raw`], which preserves the staged `(seq,
+//!   cause)` — to the wheel of the shard that owns it, or into that
+//!   shard's *outbox* when the owning shard is not the one currently
+//!   draining.
+//! * **Epochs are owner-drain runs.** An epoch is a maximal run of
+//!   globally consecutive events owned by one shard: the driver picks
+//!   the shard whose wheel holds the global minimum key and lets it
+//!   drain until its next key is no longer the global minimum —
+//!   bounded by the earliest key on any foreign wheel *and* the
+//!   earliest key buffered in any outbox. At the epoch barrier all
+//!   outboxes are merged into their wheels (disjoint per-shard work,
+//!   executed through the `rayon` scope so real parallelism is a
+//!   drop-in) and the next owner is chosen.
+//!
+//! Since every dispatched event is the global minimum pending key at
+//! its dispatch time, the dispatch sequence equals the solo schedule
+//! by induction — regardless of how events are partitioned across
+//! shards. The partition choice affects only *which wheel buffers an
+//! event*, never when it runs. See DESIGN.md §14 for the full ordering
+//! argument.
+
+use crate::engine::{Ctx, RunStats, StopReason, World};
+use crate::observer::{DispatchMeta, Observer};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A [`World`] that can be partitioned into shards.
+///
+/// The map from events to shards must be *pure* (a function of the
+/// event alone, not of mutable world state): the driver consults it at
+/// routing time, and an impure map could route two incarnations of the
+/// same logical event differently.
+pub trait ShardWorld: World {
+    /// Number of shard partitions this world is built with (≥ 1).
+    fn shard_count(&self) -> usize;
+
+    /// The shard owning `event`. World-scoped events (no subject peer)
+    /// conventionally map to shard 0. Must be `< shard_count()`.
+    fn shard_of(&self, event: &Self::Event) -> usize;
+}
+
+/// Per-shard execution state: the shard's own timing wheel, plus the
+/// outbox where foreign shards park events addressed to it between
+/// barriers.
+struct Shard<E> {
+    wheel: EventQueue<E>,
+    /// Cross-shard events awaiting the next barrier merge, with their
+    /// staging-assigned `(time, seq, cause)` metadata.
+    outbox: Vec<(SimTime, u64, Option<u64>, E)>,
+    /// Earliest `(time, seq)` key in `outbox` — appended entries carry
+    /// increasing seqs but arbitrary times, so the minimum is tracked
+    /// incrementally. Epoch boundaries compare against it.
+    outbox_min: Option<(SimTime, u64)>,
+    /// Events dispatched from this shard's wheel (for bench reporting).
+    dispatched: u64,
+}
+
+impl<E> Shard<E> {
+    fn with_capacity(cap: usize) -> Self {
+        Shard {
+            wheel: EventQueue::with_capacity(cap),
+            outbox: Vec::new(),
+            outbox_min: None,
+            dispatched: 0,
+        }
+    }
+
+    /// Merge the outbox into the wheel. Entry order does not matter:
+    /// the wheel orders by the preserved `(time, seq)` keys.
+    fn flush(&mut self) {
+        for (time, seq, cause, event) in self.outbox.drain(..) {
+            self.wheel.push_raw(time, seq, cause, event);
+        }
+        self.outbox_min = None;
+    }
+}
+
+/// Barrier-synchronized multi-wheel driver with the solo engine's exact
+/// dispatch schedule. See the module docs for the design.
+pub struct ShardedEngine<W: ShardWorld> {
+    world: W,
+    /// Owns the global sequence counter and the cause stamp; handlers
+    /// schedule into it and the driver routes entries out of it after
+    /// every handler. Empty between dispatches.
+    staging: EventQueue<W::Event>,
+    shards: Vec<Shard<W::Event>>,
+    now: SimTime,
+    /// Pending events across all wheels and outboxes; mirrors the solo
+    /// queue's `len()` so observers see identical queue depths.
+    pending: usize,
+    observer: Option<Box<dyn Observer<W>>>,
+    /// Hard cap on dispatched events per `run_until` call, to convert
+    /// accidental infinite self-scheduling into a visible error condition.
+    pub event_budget: u64,
+}
+
+impl<W: ShardWorld> ShardedEngine<W> {
+    /// Wrap a world with empty per-shard wheels at time zero.
+    pub fn new(world: W) -> Self {
+        ShardedEngine::with_queue_capacity(world, 0)
+    }
+
+    /// [`ShardedEngine::new`] with every shard's wheel pre-sized for its
+    /// share of roughly `events` concurrently pending events.
+    pub fn with_queue_capacity(world: W, events: usize) -> Self {
+        let n = world.shard_count().max(1);
+        let per_shard = events / n + usize::from(events % n != 0);
+        ShardedEngine {
+            world,
+            staging: EventQueue::new(),
+            shards: (0..n).map(|_| Shard::with_capacity(per_shard)).collect(),
+            now: SimTime::ZERO,
+            pending: 0,
+            observer: None,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Attach an observer; replaces any previous one.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer<W>>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detach and return the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer<W>>> {
+        self.observer.take()
+    }
+
+    /// Whether an observer is attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for setup and post-run inspection).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Number of shard partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Events dispatched per shard, in shard order (bench reporting).
+    pub fn shard_event_totals(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.dispatched).collect()
+    }
+
+    /// Total events ever dispatched.
+    pub fn total_dispatched(&self) -> u64 {
+        self.shards.iter().map(|s| s.dispatched).sum()
+    }
+
+    /// Schedule an event before or between runs. Sequence numbers are
+    /// assigned in call order, exactly like the solo engine's queue.
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
+        self.staging.push(at.max(self.now), event);
+        // No epoch in progress: everything routes through outboxes and
+        // merges at the next run's first barrier.
+        let Self {
+            world,
+            staging,
+            shards,
+            pending,
+            ..
+        } = self;
+        route_staged(world, staging, shards, None, pending);
+    }
+
+    /// Run until every wheel and outbox drains, a handler stops the
+    /// run, or the next event would be strictly later than `horizon`.
+    ///
+    /// Events *at* the horizon are processed. On return, `now` is the
+    /// horizon (if reached) or the time of the last processed event —
+    /// the same contract as [`Engine::run_until`](crate::Engine::run_until).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunStats {
+        let mut events = 0u64;
+        let reason = 'outer: loop {
+            if events >= self.event_budget {
+                break StopReason::EventBudget;
+            }
+            // Barrier: merge every outbox into its shard's wheel. Each
+            // spawn touches a disjoint shard, and the merged order is
+            // decided by the preserved (time, seq) keys, so execution
+            // order is immaterial — the parallelism seam.
+            rayon::scope(|s| {
+                for shard in self.shards.iter_mut() {
+                    if !shard.outbox.is_empty() {
+                        s.spawn(move |_| shard.flush());
+                    }
+                }
+            });
+            // The next epoch's owner: the shard holding the globally
+            // earliest (time, seq) key.
+            let mut owner: Option<(usize, (SimTime, u64))> = None;
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                if let Some(k) = shard.wheel.peek_key() {
+                    if owner.is_none_or(|(_, best)| k < best) {
+                        owner = Some((i, k));
+                    }
+                }
+            }
+            let Some((o, first)) = owner else {
+                break StopReason::QueueEmpty;
+            };
+            if first.0 > horizon {
+                self.now = horizon;
+                break StopReason::HorizonReached;
+            }
+            // Epoch boundary from foreign wheels: fixed for the whole
+            // epoch, since only outboxes grow while the owner drains.
+            let mut limit: Option<(SimTime, u64)> = None;
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                if i == o {
+                    continue;
+                }
+                if let Some(k) = shard.wheel.peek_key() {
+                    if limit.is_none_or(|best| k < best) {
+                        limit = Some(k);
+                    }
+                }
+            }
+            // Drain the owner while its next key stays the global min.
+            loop {
+                let Some(popped) = self.shards[o].wheel.pop_entry() else {
+                    break;
+                };
+                self.pending -= 1;
+                let (t, event) = (popped.time, popped.event);
+                self.now = t;
+                if let Some(obs) = &mut self.observer {
+                    obs.on_dispatch_meta(DispatchMeta {
+                        seq: popped.seq,
+                        cause: popped.cause,
+                    });
+                    obs.on_dispatch(t, &event, self.pending);
+                }
+                // Events scheduled by this handler are caused by this
+                // event; the staging queue stamps them.
+                self.staging.set_cause(Some(popped.seq));
+                let mut ctx = Ctx::new(t, &mut self.staging);
+                self.world.handle(&mut ctx, event);
+                let stop = ctx.stop_requested();
+                self.staging.set_cause(None);
+                {
+                    // Route the handler's follow-ups: owner-bound events
+                    // join the live drain, foreign-bound ones wait in
+                    // outboxes until the barrier.
+                    let Self {
+                        world,
+                        staging,
+                        shards,
+                        pending,
+                        ..
+                    } = self;
+                    route_staged(world, staging, shards, Some(o), pending);
+                }
+                if let Some(obs) = &mut self.observer {
+                    obs.after_handle(t, &self.world);
+                }
+                self.shards[o].dispatched += 1;
+                events += 1;
+                if stop {
+                    break 'outer StopReason::Stopped;
+                }
+                if events >= self.event_budget {
+                    break; // outer loop reports EventBudget
+                }
+                let Some(next) = self.shards[o].wheel.peek_key() else {
+                    break;
+                };
+                if next.0 > horizon {
+                    break; // outer loop re-checks against the global min
+                }
+                let boundary = self
+                    .shards
+                    .iter()
+                    .filter_map(|s| s.outbox_min)
+                    .chain(limit)
+                    .min();
+                if boundary.is_some_and(|b| b < next) {
+                    break; // epoch over: another shard owns the minimum
+                }
+            }
+        };
+        RunStats {
+            events,
+            end_time: self.now,
+            reason,
+        }
+    }
+}
+
+/// Drain the staging queue, routing each entry to the wheel of the
+/// shard currently draining (`home`) or into the owning shard's outbox.
+/// Free function so the driver can call it under split borrows.
+fn route_staged<W: ShardWorld>(
+    world: &W,
+    staging: &mut EventQueue<W::Event>,
+    shards: &mut [Shard<W::Event>],
+    home: Option<usize>,
+    pending: &mut usize,
+) {
+    while let Some(p) = staging.pop_entry() {
+        let s = world.shard_of(&p.event);
+        debug_assert!(s < shards.len(), "shard_of out of range: {s}");
+        *pending += 1;
+        if Some(s) == home {
+            shards[s].wheel.push_raw(p.time, p.seq, p.cause, p.event);
+        } else {
+            let shard = &mut shards[s];
+            let key = (p.time, p.seq);
+            if shard.outbox_min.is_none_or(|m| key < m) {
+                shard.outbox_min = Some(key);
+            }
+            shard.outbox.push((p.time, p.seq, p.cause, p.event));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::observer::Observer;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A world whose events hop between "nodes": node `n` schedules a
+    /// follow-up for node `(n * 5 + 3) % 64` after a pseudo-random
+    /// delay, so event chains constantly cross shard boundaries.
+    struct Hopper {
+        shards: usize,
+        hops: u64,
+        budget: u64,
+        log: Vec<(u64, u32)>,
+    }
+
+    #[derive(Clone, Copy)]
+    struct Hop {
+        node: u32,
+        salt: u64,
+    }
+
+    impl World for Hopper {
+        type Event = Hop;
+        fn handle(&mut self, ctx: &mut Ctx<'_, Hop>, ev: Hop) {
+            self.log.push((ctx.now().as_micros(), ev.node));
+            self.hops += 1;
+            if self.hops >= self.budget {
+                return;
+            }
+            // Two follow-ups with deterministic pseudo-random delays;
+            // same-timestamp collisions across shards are common.
+            for k in 0..2u64 {
+                let salt = ev
+                    .salt
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 + k);
+                let next = Hop {
+                    node: (ev.node * 5 + 3 + k as u32) % 64,
+                    salt,
+                };
+                ctx.schedule_in(SimTime::from_micros(salt % 50_000), next);
+            }
+        }
+    }
+
+    impl ShardWorld for Hopper {
+        fn shard_count(&self) -> usize {
+            self.shards
+        }
+        fn shard_of(&self, ev: &Hop) -> usize {
+            ev.node as usize % self.shards
+        }
+    }
+
+    /// One observed dispatch: (seq, cause, time µs, queue depth).
+    type Stream = Vec<(u64, Option<u64>, u64, usize)>;
+
+    /// Records the full observable dispatch stream: meta, timestamps,
+    /// queue depths.
+    #[derive(Default)]
+    struct Recorder {
+        stream: Stream,
+        meta: Option<DispatchMeta>,
+    }
+
+    impl Observer<Hopper> for Recorder {
+        fn on_dispatch_meta(&mut self, meta: DispatchMeta) {
+            self.meta = Some(meta);
+        }
+        fn on_dispatch(&mut self, now: SimTime, _event: &Hop, queue_depth: usize) {
+            let m = self.meta.take().expect("meta precedes dispatch");
+            self.stream
+                .push((m.seq, m.cause, now.as_micros(), queue_depth));
+        }
+    }
+
+    fn world(shards: usize) -> Hopper {
+        Hopper {
+            shards,
+            hops: 0,
+            budget: 800,
+            log: Vec::new(),
+        }
+    }
+
+    fn solo_run(horizon: SimTime) -> (Vec<(u64, u32)>, Stream, RunStats) {
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        let mut eng = Engine::new(world(1));
+        eng.set_observer(Box::new(Rc::clone(&rec)));
+        eng.schedule_at(SimTime::ZERO, Hop { node: 0, salt: 1 });
+        eng.schedule_at(SimTime::ZERO, Hop { node: 7, salt: 2 });
+        let stats = eng.run_until(horizon);
+        let log = eng.into_world().log;
+        let stream = std::mem::take(&mut rec.borrow_mut().stream);
+        (log, stream, stats)
+    }
+
+    fn sharded_run(shards: usize, horizon: SimTime) -> (Vec<(u64, u32)>, Stream, RunStats) {
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        let mut eng = ShardedEngine::new(world(shards));
+        eng.set_observer(Box::new(Rc::clone(&rec)));
+        eng.schedule_at(SimTime::ZERO, Hop { node: 0, salt: 1 });
+        eng.schedule_at(SimTime::ZERO, Hop { node: 7, salt: 2 });
+        let stats = eng.run_until(horizon);
+        let log = eng.into_world().log;
+        let stream = std::mem::take(&mut rec.borrow_mut().stream);
+        (log, stream, stats)
+    }
+
+    #[test]
+    fn sharded_dispatch_stream_matches_solo_exactly() {
+        let horizon = SimTime::from_secs(3600);
+        let (solo_log, solo_stream, solo_stats) = solo_run(horizon);
+        for shards in [1usize, 2, 3, 4, 8] {
+            let (log, stream, stats) = sharded_run(shards, horizon);
+            assert_eq!(log, solo_log, "handler order diverged at S={shards}");
+            assert_eq!(
+                stream, solo_stream,
+                "observer stream (seq/cause/time/depth) diverged at S={shards}"
+            );
+            assert_eq!(stats.events, solo_stats.events);
+            assert_eq!(stats.end_time, solo_stats.end_time);
+            assert_eq!(stats.reason, solo_stats.reason);
+        }
+    }
+
+    #[test]
+    fn shard_event_totals_sum_to_dispatched() {
+        let mut eng = ShardedEngine::new(world(4));
+        eng.schedule_at(SimTime::ZERO, Hop { node: 0, salt: 1 });
+        let stats = eng.run_until(SimTime::from_secs(3600));
+        let totals = eng.shard_event_totals();
+        assert_eq!(totals.len(), 4);
+        assert_eq!(totals.iter().sum::<u64>(), stats.events);
+        assert_eq!(eng.total_dispatched(), stats.events);
+        // Hopper's node walk spreads across partitions.
+        assert!(totals.iter().filter(|&&t| t > 0).count() > 1);
+    }
+
+    #[test]
+    fn horizon_and_budget_semantics_match_solo() {
+        // Horizon mid-run: only the time-0 seeds are at or before the
+        // cut, every follow-up lies beyond it.
+        let horizon = SimTime::from_micros(1);
+        let (_, solo_stream, solo_stats) = solo_run(horizon);
+        let (_, stream, stats) = sharded_run(4, horizon);
+        assert_eq!(stream, solo_stream);
+        assert_eq!(stats.reason, StopReason::HorizonReached);
+        assert_eq!(stats.reason, solo_stats.reason);
+        assert_eq!(stats.end_time, solo_stats.end_time);
+        assert_eq!(stats.end_time, horizon);
+
+        // Event budget: identical truncation.
+        let mut solo = Engine::new(world(1));
+        solo.event_budget = 37;
+        solo.schedule_at(SimTime::ZERO, Hop { node: 0, salt: 1 });
+        let a = solo.run_until(SimTime::MAX);
+        let mut sharded = ShardedEngine::new(world(4));
+        sharded.event_budget = 37;
+        sharded.schedule_at(SimTime::ZERO, Hop { node: 0, salt: 1 });
+        let b = sharded.run_until(SimTime::MAX);
+        assert_eq!(a.reason, StopReason::EventBudget);
+        assert_eq!(b.reason, StopReason::EventBudget);
+        assert_eq!(a.events, b.events);
+        assert_eq!(solo.into_world().log, sharded.into_world().log);
+    }
+
+    #[test]
+    fn run_resumes_across_horizons_like_solo() {
+        let mut solo = Engine::new(world(1));
+        solo.schedule_at(SimTime::ZERO, Hop { node: 0, salt: 9 });
+        let mut sharded = ShardedEngine::new(world(8));
+        sharded.schedule_at(SimTime::ZERO, Hop { node: 0, salt: 9 });
+        for h in [100_000u64, 500_000, 2_000_000] {
+            let a = solo.run_until(SimTime::from_micros(h));
+            let b = sharded.run_until(SimTime::from_micros(h));
+            assert_eq!(a.events, b.events, "segment up to {h}µs");
+            assert_eq!(solo.now(), sharded.now());
+        }
+        assert_eq!(solo.into_world().log, sharded.into_world().log);
+    }
+}

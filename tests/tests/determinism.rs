@@ -21,6 +21,7 @@ const HASH_ONLY: RunOptions = RunOptions {
     trace_hash: true,
     record_spans: false,
     telemetry: None,
+    shards: 0,
 };
 
 #[test]
@@ -62,6 +63,7 @@ fn observed_run_is_bit_identical_to_plain_run() {
         trace_hash: true,
         record_spans: false,
         telemetry: None,
+        shards: 0,
     });
     let plain = small_steady().run();
     assert_eq!(

@@ -1,0 +1,118 @@
+//! Sharded-vs-solo equivalence matrix: every scenario in `scenarios/`,
+//! run through the epoch-barrier sharded engine at shard counts
+//! {1, 2, 4, 8}, must reproduce the *committed* solo golden trace hash
+//! byte-for-byte.
+//!
+//! Unlike `scenario_matrix`, this test deliberately has no
+//! `UPDATE_GOLDEN` path: the golden file is the solo schedule's, and a
+//! sharded run is only correct if it matches that schedule with no
+//! regeneration. A mismatch here is a sharding bug, never a "new
+//! baseline".
+
+use std::path::{Path, PathBuf};
+
+use coolstreaming::{RunOptions, ScenarioSpec};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/scenario_hashes.txt");
+
+/// Shard counts the matrix covers (1 exercises the sharded driver on a
+/// single partition, which must still match the solo engine).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn hash_only(shards: usize) -> RunOptions {
+    RunOptions {
+        check_invariants: false,
+        invariant_stride: 0,
+        trace_hash: true,
+        record_spans: false,
+        telemetry: None,
+        shards,
+    }
+}
+
+fn scenario_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> =
+        std::fs::read_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("../scenarios"))
+            .expect("scenarios/ directory missing")
+            .map(|e| e.expect("readable dir entry").path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+    files.sort();
+    files
+}
+
+/// Read the committed golden hash for `name` — a parse failure or a
+/// missing entry is a test failure, never a rewrite.
+fn golden_hash(name: &str) -> u64 {
+    let text = std::fs::read_to_string(GOLDEN_PATH).expect("golden file missing");
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some(name) {
+            let hex = parts.next().expect("golden line has a hash column");
+            return u64::from_str_radix(hex, 16).expect("golden hash parses as hex");
+        }
+    }
+    panic!("{name}: no golden hash committed (run scenario_matrix first)");
+}
+
+/// Every scenario × every shard count reproduces the solo golden hash,
+/// and the per-shard event totals account for every dispatched event.
+#[test]
+fn sharded_runs_match_solo_golden_hashes() {
+    for path in scenario_files() {
+        let text = std::fs::read_to_string(&path).expect("readable scenario file");
+        let spec =
+            ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let golden = golden_hash(&spec.name);
+        for shards in SHARD_COUNTS {
+            let compiled = spec
+                .compile()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let run = compiled
+                .scenario
+                .run_injected_observed(compiled.injections, hash_only(shards));
+            let hash = run.trace_hash.expect("hash requested");
+            assert_eq!(
+                hash, golden,
+                "{} with {shards} shard(s): trace hash {hash:016x} != solo golden {golden:016x}",
+                spec.name
+            );
+            let totals = run
+                .artifacts
+                .shard_events
+                .expect("sharded runs report per-shard totals");
+            assert_eq!(totals.len(), shards, "{}: one total per shard", spec.name);
+            assert_eq!(
+                totals.iter().sum::<u64>(),
+                run.artifacts.run_stats.events,
+                "{} with {shards} shard(s): shard totals must sum to the event count",
+                spec.name
+            );
+        }
+    }
+}
+
+/// The solo path reports no shard totals — `shards: 0` must keep using
+/// the plain engine, not a one-shard sharded driver.
+#[test]
+fn solo_runs_report_no_shard_totals() {
+    let path = scenario_files()
+        .into_iter()
+        .find(|p| p.file_stem().is_some_and(|s| s == "steady_state"))
+        .expect("steady_state scenario present");
+    let text = std::fs::read_to_string(&path).expect("readable scenario file");
+    let spec = ScenarioSpec::from_json(&text).expect("steady_state parses");
+    let compiled = spec.compile().expect("steady_state compiles");
+    let run = compiled
+        .scenario
+        .run_injected_observed(compiled.injections, hash_only(0));
+    assert_eq!(
+        run.trace_hash.expect("hash requested"),
+        golden_hash("steady_state")
+    );
+    assert!(run.artifacts.shard_events.is_none());
+}
